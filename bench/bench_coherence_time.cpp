@@ -1,0 +1,47 @@
+// E3 (Sec. II): time-resolved coincidence measurement gives a signal/idler
+// linewidth of 110 MHz, consistent with the ring linewidth considering
+// detector time jitter.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "qfc/core/comb_source.hpp"
+
+int main() {
+  using namespace qfc;
+  bench::header("E3  bench_coherence_time",
+                "time-resolved coincidences -> measured linewidth 110 MHz, "
+                "consistent with ring linewidth + detector jitter");
+
+  auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::SelfLockedCw);
+  core::HeraldedConfig cfg;
+  cfg.num_channel_pairs = 2;
+  auto exp = comb.heralded(cfg);
+  const auto res = exp.run_coherence_measurement(1, 300.0);
+
+  std::printf("ring linewidth (device model):   %7.1f MHz\n",
+              res.ring_linewidth_hz / 1e6);
+  std::printf("fitted decay time tau:           %7.2f ns\n", res.fitted_tau_s * 1e9);
+  std::printf("measured linewidth (with jitter):%7.1f MHz   (paper: 110 MHz)\n",
+              res.measured_linewidth_hz / 1e6);
+  std::printf("jitter-deconvolved linewidth:    %7.1f MHz\n",
+              res.deconvolved_linewidth_hz / 1e6);
+
+  std::printf("\ncoincidence histogram (0.5 ns bins, counts around dt = 0):\n");
+  const auto& h = res.histogram;
+  const std::size_t c = h.center_bin();
+  for (std::size_t i = (c > 16 ? c - 16 : 0); i <= c + 16 && i < h.counts.size(); ++i) {
+    std::printf("%+7.2f ns  %6llu  ", h.bin_time(i) * 1e9,
+                static_cast<unsigned long long>(h.counts[i]));
+    const int bars = static_cast<int>(60.0 * static_cast<double>(h.counts[i]) /
+                                      static_cast<double>(h.counts[c] + 1));
+    for (int b = 0; b < bars; ++b) std::printf("#");
+    std::printf("\n");
+  }
+
+  const bool ok = res.measured_linewidth_hz > 80e6 && res.measured_linewidth_hz < 160e6;
+  bench::verdict(ok, "measured linewidth within ~110 MHz band and consistent with "
+                     "the 110 MHz ring linewidth after jitter deconvolution");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// E11 (Sec. I-II): the quantum comb covers the full S, C and L telecom
+// bands with photon frequencies centered at standard telecommunication
+// channels spaced by 200 GHz.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "qfc/photonics/comb_grid.hpp"
+#include "qfc/photonics/constants.hpp"
+#include "qfc/photonics/device_presets.hpp"
+
+int main() {
+  using namespace qfc::photonics;
+  bench::header("E11 bench_comb_coverage",
+                "broad frequency comb covering the full S, C and L bands at "
+                "standard 200 GHz telecom channel spacing");
+
+  const auto ring = heralded_source_device();
+  const double pump = pump_resonance_hz(ring);
+  const double fsr = ring.fsr_hz(pump, Polarization::TE);
+  std::printf("pump resonance: %.3f THz (%.1f nm), FSR %.1f GHz\n\n", pump / 1e12,
+              wavelength_from_frequency(pump) * 1e9, fsr / 1e9);
+
+  int in_s = 0, in_c = 0, in_l = 0, outside = 0;
+  double max_itu_misalignment = 0;
+  std::printf("%6s %12s %12s %6s %10s %18s\n", "k", "nu (THz)", "lambda (nm)", "band",
+              "ITU ch", "grid offset (GHz)");
+  for (int k = -16; k <= 16; ++k) {
+    if (k == 0) continue;
+    const double nu = ring.nearest_resonance_hz(pump + k * fsr, Polarization::TE);
+    const TelecomBand band = classify_band(nu);
+    switch (band) {
+      case TelecomBand::S: ++in_s; break;
+      case TelecomBand::C: ++in_c; break;
+      case TelecomBand::L: ++in_l; break;
+      default: ++outside; break;
+    }
+    // Alignment to the ideal 200 GHz grid anchored at the pump.
+    const double ideal = pump + k * 200e9;
+    const double offset = (nu - ideal) / 1e9;
+    max_itu_misalignment = std::max(max_itu_misalignment, std::abs(offset));
+    if (std::abs(k) <= 5 || std::abs(k) >= 15)
+      std::printf("%6d %12.3f %12.2f %6s %10d %18.2f\n", k, nu / 1e12,
+                  wavelength_from_frequency(nu) * 1e9, band_name(band),
+                  CombGrid::itu_channel_number(nu), offset);
+  }
+  std::printf("  ... (|k| in 6..12 omitted)\n\n");
+  std::printf("channels: S band %d, C band %d, L band %d, outside %d\n", in_s, in_c,
+              in_l, outside);
+  std::printf("max deviation from the rigid 200 GHz grid: %.2f GHz "
+              "(ring dispersion)\n", max_itu_misalignment);
+
+  const bool ok = in_s > 0 && in_c > 0 && in_l > 0 && outside == 0 &&
+                  max_itu_misalignment < 20.0;
+  bench::verdict(ok, "32 channels across S+C+L, all on the 200 GHz grid within "
+                     "dispersion tolerance");
+  return ok ? 0 : 1;
+}

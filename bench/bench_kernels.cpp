@@ -1,0 +1,109 @@
+// EK: google-benchmark microbenchmarks of the numerical kernels that
+// dominate the reproduction runtime: Hermitian eigendecomposition, SVD /
+// Schmidt decomposition, Monte-Carlo stream generation, coincidence
+// correlation, and one MLE tomography iteration cycle.
+
+#include <benchmark/benchmark.h>
+
+#include "qfc/detect/coincidence.hpp"
+#include "qfc/detect/event_stream.hpp"
+#include "qfc/linalg/hermitian_eig.hpp"
+#include "qfc/linalg/svd.hpp"
+#include "qfc/quantum/bell.hpp"
+#include "qfc/sfwm/jsa.hpp"
+#include "qfc/tomo/tomography.hpp"
+
+namespace {
+
+using namespace qfc;
+
+linalg::CMat random_hermitian(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 g(seed);
+  linalg::CMat a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = linalg::cplx(g.uniform(-1, 1), g.uniform(-1, 1));
+  return linalg::hermitian_part(a);
+}
+
+void BM_HermitianEig(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_hermitian(n, 42);
+  for (auto _ : state) {
+    auto e = linalg::hermitian_eig(a);
+    benchmark::DoNotOptimize(e.values.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HermitianEig)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_SchmidtDecomposition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sfwm::JsaParams p;
+  p.pump_bandwidth_hz = 800e6;
+  p.ring_linewidth_s_hz = 800e6;
+  p.ring_linewidth_i_hz = 800e6;
+  p.grid_points = n;
+  const auto jsa = sfwm::sample_jsa(p);
+  for (auto _ : state) {
+    auto r = sfwm::schmidt_decompose(jsa);
+    benchmark::DoNotOptimize(r.purity);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SchmidtDecomposition)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_PairStreamGeneration(benchmark::State& state) {
+  rng::Xoshiro256 g(7);
+  detect::PairStreamParams p;
+  p.pair_rate_hz = static_cast<double>(state.range(0));
+  p.linewidth_hz = 100e6;
+  p.duration_s = 1.0;
+  for (auto _ : state) {
+    auto s = detect::generate_pair_arrivals(p, g);
+    benchmark::DoNotOptimize(s.a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PairStreamGeneration)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CoincidenceCorrelation(benchmark::State& state) {
+  rng::Xoshiro256 g(8);
+  detect::PairStreamParams p;
+  p.pair_rate_hz = static_cast<double>(state.range(0));
+  p.linewidth_hz = 100e6;
+  p.duration_s = 1.0;
+  const auto s = detect::generate_pair_arrivals(p, g);
+  for (auto _ : state) {
+    auto h = detect::correlate(s.a, s.b, 1e-9, 50e-9);
+    benchmark::DoNotOptimize(h.counts.data());
+  }
+}
+BENCHMARK(BM_CoincidenceCorrelation)->Arg(10000)->Arg(100000);
+
+void BM_TomographySimulate2Q(benchmark::State& state) {
+  rng::Xoshiro256 g(9);
+  const auto rho = quantum::werner_phi(0.83);
+  for (auto _ : state) {
+    auto data = tomo::simulate_counts(rho, 500.0, {}, g);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_TomographySimulate2Q);
+
+void BM_TomographyMle(benchmark::State& state) {
+  rng::Xoshiro256 g(10);
+  const auto n_qubits = state.range(0);
+  const auto pair = quantum::werner_phi(0.83);
+  const auto rho = n_qubits == 2 ? pair : pair.tensor(pair);
+  const auto data = tomo::simulate_counts(rho, 200.0, {}, g);
+  for (auto _ : state) {
+    auto mle = tomo::maximum_likelihood(data);
+    benchmark::DoNotOptimize(mle.iterations);
+  }
+}
+BENCHMARK(BM_TomographyMle)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

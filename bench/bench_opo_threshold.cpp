@@ -1,0 +1,57 @@
+// E5 (Sec. III): parametric output power grows quadratically with pump
+// power until the OPO threshold at 14 mW, then linearly.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "qfc/core/comb_source.hpp"
+
+int main() {
+  using namespace qfc;
+  bench::header("E5  bench_opo_threshold",
+                "output power quadratic below the OPO threshold at 14 mW, linear "
+                "above");
+
+  auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::CrossPolarized);
+  auto exp = comb.type2({});
+  const double pth = exp.opo_threshold_w();
+  std::printf("model OPO threshold: %.1f mW (paper: 14 mW)\n\n", pth * 1e3);
+
+  std::printf("%12s %18s %12s\n", "pump (mW)", "output", "regime");
+  const auto curve = exp.run_opo_curve(30e-3, 30);
+  for (const auto& p : curve) {
+    const char* unit;
+    double val;
+    if (p.output_w >= 1e-3) {
+      unit = "mW";
+      val = p.output_w * 1e3;
+    } else if (p.output_w >= 1e-6) {
+      unit = "uW";
+      val = p.output_w * 1e6;
+    } else {
+      unit = "pW";
+      val = p.output_w * 1e12;
+    }
+    std::printf("%12.1f %14.3f %s %12s\n", p.pump_w * 1e3, val, unit,
+                p.oscillating ? "oscillating" : "spontaneous");
+  }
+
+  // Verify the log-log slope: ~2 below threshold, ~1 above.
+  const sfwm::OpoModel opo(comb.device());
+  const double slope_below =
+      std::log(opo.output_power_w(0.4 * pth) / opo.output_power_w(0.2 * pth)) /
+      std::log(2.0);
+  const double slope_above =
+      std::log((opo.output_power_w(4 * pth) - opo.output_power_w(2 * pth)) /
+               (opo.output_power_w(2.5 * pth) - opo.output_power_w(2 * pth))) /
+      std::log(4.0);
+  std::printf("\nlog-log slope below threshold: %.2f (expect 2)\n", slope_below);
+  std::printf("incremental linearity above threshold: %.2f (expect 1)\n", slope_above);
+
+  const bool ok = std::abs(pth - 14e-3) < 6e-3 && std::abs(slope_below - 2.0) < 0.05 &&
+                  std::abs(slope_above - 1.0) < 0.05;
+  bench::verdict(ok, "threshold near 14 mW with quadratic -> linear crossover");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,49 @@
+// E12 (application, Sec. I): entanglement-based QKD over the multiplexed
+// comb channels — key rate vs distance, the payoff of "frequency
+// multiplexing to enable high dimensional multi-user operation".
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "qfc/core/comb_source.hpp"
+#include "qfc/core/qkd.hpp"
+
+int main() {
+  using namespace qfc;
+  bench::header("E12 bench_qkd_distance",
+                "application: BBM92 time-bin QKD on the multiplexed comb; "
+                "positive key on all channels, aggregate rate ~ N_channels");
+
+  auto comb =
+      core::QuantumFrequencyComb::for_configuration(core::PumpConfiguration::DoublePulse);
+  auto exp = comb.timebin_default();
+  core::MultiplexedQkdLink link(exp);
+
+  std::printf("%14s %14s %10s %16s %18s\n", "distance (km)", "V (ch 1)", "QBER",
+              "key/ch (bit/s)", "aggregate (bit/s)");
+  bool monotone = true;
+  double prev = 1e18;
+  for (double km : {0.0, 10.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0}) {
+    const auto ch = link.channel_performance(1, km);
+    const double agg = link.aggregate_key_rate_bps(km);
+    std::printf("%14.0f %14.3f %10.3f %16.1f %18.1f\n", km, ch.visibility, ch.qber,
+                ch.key_rate_bps, agg);
+    if (agg > prev * 1.0001) monotone = false;
+    prev = agg;
+  }
+
+  const double dmax = link.max_distance_km(1);
+  std::printf("\nmax distance with positive key (channel 1): %.0f km\n", dmax);
+
+  const auto at10 = link.all_channels(10.0);
+  int positive = 0;
+  for (const auto& ch : at10) positive += ch.key_positive ? 1 : 0;
+  std::printf("channels with positive key at 10 km: %d / %zu\n", positive, at10.size());
+  std::printf("aggregate multiplexing gain at 10 km: %.2fx single channel\n",
+              link.aggregate_key_rate_bps(10.0) / at10.front().key_rate_bps);
+
+  const bool ok = monotone && positive == static_cast<int>(at10.size()) && dmax > 20;
+  bench::verdict(ok, "key rate decays monotonically with distance; all multiplexed "
+                     "channels distill key at metro distances");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// E10 (Sec. II): self-locked operation runs for weeks with < 5% fluctuation
+// and no active stabilization; an externally pumped ring drifts.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "qfc/core/comb_source.hpp"
+#include "qfc/detect/allan.hpp"
+
+int main() {
+  using namespace qfc;
+  bench::header("E10 bench_stability",
+                "self-locked scheme: weeks of continuous operation with < 5% "
+                "fluctuation and no active stabilization");
+
+  auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::SelfLockedCw);
+  core::StabilityConfig cfg;
+  cfg.observation_days = 21.0;
+  auto exp = comb.stability(cfg);
+  const auto cmp = exp.run();
+
+  std::printf("observation window: %.0f days, 1 sample/hour, thermal drift "
+              "sigma=%.1f K\n\n", cfg.observation_days, cfg.temperature_rms_K);
+  std::printf("%22s %16s %16s %12s\n", "scheme", "RMS fluct. (%)", "p-p fluct. (%)",
+              "mean rate");
+  std::printf("%22s %16.2f %16.1f %12.3f\n", "self-locked",
+              cmp.self_locked.rms_fluctuation_percent,
+              cmp.self_locked.peak_to_peak_percent, cmp.self_locked.mean);
+  std::printf("%22s %16.2f %16.1f %12.3f\n", "external (free-run)",
+              cmp.external.rms_fluctuation_percent, cmp.external.peak_to_peak_percent,
+              cmp.external.mean);
+
+  // Short excerpt of both time series (first 48 h, every 6 h).
+  std::printf("\nrelative pair rate, first 48 h (every 6 h):\n");
+  std::printf("%10s %14s %14s\n", "t (h)", "self-locked", "external");
+  for (std::size_t i = 0; i < cmp.self_locked.time_s.size() && i < 49; i += 6)
+    std::printf("%10.0f %14.3f %14.3f\n", cmp.self_locked.time_s[i] / 3600.0,
+                cmp.self_locked.relative_rate[i], cmp.external.relative_rate[i]);
+
+  // Allan-deviation view of both schemes.
+  std::printf("\noverlapping Allan deviation of the relative rate:\n");
+  std::printf("%12s %16s %16s\n", "tau (h)", "self-locked", "external");
+  const auto a_self =
+      detect::allan_curve(cmp.self_locked.relative_rate, cfg.sample_interval_s);
+  const auto a_ext =
+      detect::allan_curve(cmp.external.relative_rate, cfg.sample_interval_s);
+  for (std::size_t i = 0; i < a_self.size() && i < a_ext.size(); ++i)
+    std::printf("%12.0f %16.4f %16.4f\n", a_self[i].tau_s / 3600.0, a_self[i].sigma,
+                a_ext[i].sigma);
+
+  const bool ok = cmp.self_locked.rms_fluctuation_percent < 5.0 &&
+                  cmp.external.rms_fluctuation_percent >
+                      3.0 * cmp.self_locked.rms_fluctuation_percent;
+  bench::verdict(ok, "self-locked < 5% RMS over 3 weeks; external pumping "
+                     "fluctuates far more (who-wins shape reproduced)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// E7 (Sec. IV): two-photon time-bin quantum interference with raw
+// visibility 83% and CHSH violation on all 5 symmetric channel pairs.
+// Ablation: visibility vs multi-pair mean μ (pump power).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "qfc/core/comb_source.hpp"
+#include "qfc/timebin/arrival_histogram.hpp"
+
+int main() {
+  using namespace qfc;
+  bench::header("E7  bench_timebin_chsh",
+                "raw two-photon visibility 83% (no background correction); CHSH "
+                "S > 2 on all 5 channel pairs symmetric to the pump");
+
+  auto comb =
+      core::QuantumFrequencyComb::for_configuration(core::PumpConfiguration::DoublePulse);
+  auto exp = comb.timebin_default();
+
+  std::printf("%8s %10s %12s %12s %14s %12s\n", "channel", "mu", "V (fit)",
+              "V (model)", "CHSH S", "sigma > 2");
+  bool all_violate = true;
+  double vis_sum = 0;
+  const auto results = exp.run_all_channels();
+  for (const auto& r : results) {
+    std::printf("%8d %10.4f %9.3f±%.3f %12.3f %9.3f±%.3f %10.1f\n", r.k,
+                r.mu_per_double_pulse, r.fringe_fit.visibility,
+                r.fringe_fit.visibility_err, r.predicted_visibility, r.chsh.s,
+                r.chsh.s_err, r.chsh.sigmas_above_2());
+    all_violate &= r.chsh.violates_classical();
+    vis_sum += r.fringe_fit.visibility;
+  }
+  const double vis_mean = vis_sum / static_cast<double>(results.size());
+  std::printf("mean raw visibility: %.3f (paper: 0.83); S_ideal = 2√2·V = %.2f\n",
+              vis_mean, 2 * std::sqrt(2.0) * vis_mean);
+
+  // The post-selection structure (Sec. IV "post-select the relevant photon
+  // events"): arrival-time-difference histogram with interference confined
+  // to the central slot.
+  std::printf("\narrival-time histogram (channel 1, Δt in units of the bin "
+              "separation):\n");
+  std::printf("%16s %8s %8s %8s %8s %8s %14s\n", "analyzer phases", "-2", "-1", "0",
+              "+1", "+2", "center/side");
+  rng::Xoshiro256 hg(1176);
+  const auto rho1 = timebin::noisy_pair_state(exp.noise_model(1));
+  struct Setting {
+    const char* label;
+    double a, b;
+  } settings[] = {{"fringe max", 0.0, 0.0},
+                  {"quadrature", 0.0, 1.5707963},
+                  {"fringe min", 0.0, 3.14159265}};
+  for (const auto& s : settings) {
+    const auto h = timebin::simulate_arrival_histogram(rho1, s.a, s.b, 300000, hg);
+    std::printf("%16s %8llu %8llu %8llu %8llu %8llu %14.2f\n", s.label,
+                static_cast<unsigned long long>(h.counts[0]),
+                static_cast<unsigned long long>(h.counts[1]),
+                static_cast<unsigned long long>(h.counts[2]),
+                static_cast<unsigned long long>(h.counts[3]),
+                static_cast<unsigned long long>(h.counts[4]),
+                h.central_to_side_ratio());
+  }
+
+  // Ablation: interferometer imbalance mismatch (failure injection).
+  std::printf("\nablation: visibility penalty vs analyzer-imbalance mismatch\n");
+  const double tau_c = 1.0 / (photonics::pi *
+                              comb.device().linewidth_hz(
+                                  exp.config().pump.frequency_hz,
+                                  photonics::Polarization::TE));
+  std::printf("photon coherence time: %.0f ps\n", tau_c * 1e12);
+  for (double mismatch_ps : {0.0, 50.0, 150.0, 400.0, 1000.0})
+    std::printf("  mismatch %6.0f ps -> visibility factor %.3f\n", mismatch_ps,
+                timebin::mismatch_visibility_penalty(mismatch_ps * 1e-12, tau_c));
+
+  // Ablation: visibility vs μ (multi-pair contamination) at fixed noise.
+  std::printf("\nablation: visibility vs mean pair number (model)\n");
+  std::printf("%10s %12s %12s\n", "mu", "V", "S = 2√2·V");
+  for (double mu : {0.01, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    timebin::TimebinNoiseModel m;
+    m.mean_pairs_per_double_pulse = mu;
+    m.phase_noise_rms_rad = 0.12;
+    m.accidental_fraction = 0.02;
+    const double v = timebin::predicted_visibility(m);
+    std::printf("%10.2f %12.3f %12.3f\n", mu, v, 2 * std::sqrt(2.0) * v);
+  }
+  std::printf("(CHSH violation is lost once V < 1/√2 ≈ 0.707, i.e. μ ≳ 0.17)\n");
+
+  const bool ok = all_violate && std::abs(vis_mean - 0.83) < 0.06;
+  bench::verdict(ok, "all 5 channels violate CHSH with raw visibility ≈ 83%");
+  return ok ? 0 : 1;
+}

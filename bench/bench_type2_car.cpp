@@ -1,0 +1,39 @@
+// E4 (Sec. III): type-II SFWM cross-polarized coincidence peak with
+// CAR ~ 10 at 2 mW pump power.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "qfc/core/comb_source.hpp"
+
+int main() {
+  using namespace qfc;
+  bench::header("E4  bench_type2_car",
+                "cross-polarized photon pairs: coincidence-to-accidental ratio "
+                "around 10 at 2 mW pump power");
+
+  auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::CrossPolarized);
+  core::Type2Config cfg;
+  cfg.duration_s = 240.0;
+  auto exp = comb.type2(cfg);
+
+  std::printf("%12s %16s %12s %16s\n", "pump (mW)", "on-chip (Hz)", "CAR",
+              "coinc. (Hz)");
+  double car_at_2mw = 0;
+  const auto sweep = exp.run_power_sweep({0.5e-3, 1e-3, 2e-3, 4e-3, 8e-3});
+  for (const auto& r : sweep) {
+    std::printf("%12.1f %16.2f %8.1f±%.1f %16.3f\n", r.pump_power_w * 1e3,
+                r.pair_rate_on_chip_hz, r.car.car, r.car.car_err,
+                r.coincidence_rate_hz);
+    if (std::abs(r.pump_power_w - 2e-3) < 1e-6) car_at_2mw = r.car.car;
+  }
+  std::printf("CAR at 2 mW: %.1f (paper: ~10)\n", car_at_2mw);
+  std::printf("stimulated FWM suppression: %.1f dB (paper: complete suppression)\n",
+              exp.stimulated_suppression_db());
+
+  const bool ok = car_at_2mw > 4 && car_at_2mw < 30;
+  bench::verdict(ok, "CAR at 2 mW within a factor ~2 of the paper's ~10; clear "
+                     "coincidence peak confirms spontaneous (vacuum-seeded) FWM");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+#pragma once
+
+// Shared formatting helpers for the reproduction benches. Each bench prints
+// a header naming the paper claim, the regenerated rows, and a PASS/CHECK
+// verdict on the claim's "shape" (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <string>
+
+namespace bench {
+
+inline void header(const char* id, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("--------------------------------------------------------------\n");
+}
+
+inline void verdict(bool ok, const std::string& detail) {
+  std::printf("--------------------------------------------------------------\n");
+  std::printf("[%s] %s\n\n", ok ? "PASS" : "CHECK", detail.c_str());
+}
+
+}  // namespace bench

@@ -1,0 +1,44 @@
+// Sec. III walk-through: type-II spontaneous FWM. Shows how the waveguide
+// birefringence design suppresses stimulated FWM, measures the
+// cross-polarized coincidence peak, and sweeps the OPO power curve.
+
+#include <cstdio>
+
+#include "qfc/core/comb_source.hpp"
+#include "qfc/sfwm/phase_matching.hpp"
+
+int main() {
+  using namespace qfc;
+
+  auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::CrossPolarized);
+  const auto& ring = comb.device();
+
+  std::printf("== device design ==\n");
+  std::printf("dispersion-engineered birefringence: TE/TM grids offset, FSRs equal\n");
+  std::printf("TE/TM grid offset: %.1f GHz\n",
+              sfwm::te_tm_grid_offset_hz(ring, photonics::itu_anchor_hz) / 1e9);
+  std::printf("FSR  TE %.4f GHz / TM %.4f GHz (matched)\n",
+              ring.fsr_hz(photonics::itu_anchor_hz, photonics::Polarization::TE) / 1e9,
+              ring.fsr_hz(photonics::itu_anchor_hz, photonics::Polarization::TM) / 1e9);
+
+  core::Type2Config cfg;
+  cfg.duration_s = 120.0;
+  auto exp = comb.type2(cfg);
+  std::printf("stimulated FWM suppression: %.0f dB (complete suppression)\n",
+              exp.stimulated_suppression_db());
+
+  std::printf("\n== cross-polarized coincidences at 2 mW ==\n");
+  const auto car = exp.run_car_measurement();
+  std::printf("on-chip pair rate %.2f Hz, measured CAR %.1f ± %.1f\n",
+              car.pair_rate_on_chip_hz, car.car.car, car.car.car_err);
+  std::printf("(clear coincidence peak: the process is spontaneous, seeded by "
+              "vacuum fluctuations)\n");
+
+  std::printf("\n== OPO power transfer ==\n");
+  std::printf("threshold: %.1f mW\n", exp.opo_threshold_w() * 1e3);
+  for (const auto& p : exp.run_opo_curve(28e-3, 14))
+    std::printf("pump %5.1f mW -> output %10.3e W  [%s]\n", p.pump_w * 1e3, p.output_w,
+                p.oscillating ? "linear (oscillating)" : "quadratic (spontaneous)");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Sec. V walk-through: combine two Bell pairs from four comb lines into a
+// four-photon state, observe four-photon interference, and reconstruct the
+// density matrix by maximum-likelihood tomography.
+
+#include <cstdio>
+
+#include "qfc/core/comb_source.hpp"
+#include "qfc/quantum/bell.hpp"
+#include "qfc/quantum/measures.hpp"
+
+int main() {
+  using namespace qfc;
+
+  auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::DoublePulseFourMode);
+  core::FourPhotonConfig cfg;
+  cfg.tomo_shots_per_setting = 200;
+  auto exp = comb.four_photon(cfg);
+
+  std::printf("running four-photon experiment (fringe + 81-setting tomography)\n");
+  const auto r = exp.run();
+
+  std::printf("\n== four-photon interference ==\n");
+  std::printf("fringe visibility (expected curve): %.3f\n", r.fringe.visibility);
+  std::printf("analytic model:                     %.3f (paper: 0.89)\n",
+              r.analytic_visibility);
+
+  std::printf("\n== tomography ==\n");
+  std::printf("Bell pair A fidelity: %.3f\n", r.bell_fidelity_a);
+  std::printf("Bell pair B fidelity: %.3f\n", r.bell_fidelity_b);
+  std::printf("four-photon fidelity: %.3f (paper: 0.64)\n", r.four_photon_fidelity);
+
+  std::printf("\n== entanglement of the (true) four-photon state ==\n");
+  const auto rho4 = exp.true_state();
+  const auto pair_a = rho4.partial_trace_keep({0, 1});
+  std::printf("pair A concurrence: %.3f\n", quantum::concurrence(pair_a));
+  std::printf("pair A negativity:  %.3f\n", quantum::negativity(pair_a, 1));
+  std::printf("four-photon purity: %.3f\n", quantum::purity(rho4));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Sec. II walk-through: multiplexed heralded single photons from the
+// self-locked comb — coincidence matrix, per-channel table, photon
+// coherence time, and the heralded-purity analysis behind the "pure
+// single photons" claim.
+
+#include <cstdio>
+
+#include "qfc/core/comb_source.hpp"
+#include "qfc/quantum/fock.hpp"
+#include "qfc/sfwm/jsa.hpp"
+
+int main() {
+  using namespace qfc;
+
+  auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::SelfLockedCw);
+  core::HeraldedConfig cfg;
+  cfg.duration_s = 30.0;
+  cfg.num_channel_pairs = 5;
+  auto exp = comb.heralded(cfg);
+
+  std::printf("== coincidence matrix (CAR) ==\n");
+  const auto cells = exp.run_coincidence_matrix();
+  for (int s = 1; s <= 5; ++s) {
+    for (int i = 1; i <= 5; ++i)
+      std::printf("%8.1f", cells[static_cast<std::size_t>((s - 1) * 5 + i - 1)].car.car);
+    std::printf("\n");
+  }
+
+  std::printf("\n== per-channel pair rates and CAR at 15 mW ==\n");
+  for (const auto& r : exp.run_channel_table())
+    std::printf("channel %d: %5.1f Hz, CAR %5.1f\n", r.k, r.coincidence_rate_hz, r.car);
+
+  std::printf("\n== photon coherence (channel 1, 120 s) ==\n");
+  const auto coh = exp.run_coherence_measurement(1, 120.0);
+  std::printf("fitted tau %.2f ns -> measured linewidth %.0f MHz "
+              "(ring: %.0f MHz)\n", coh.fitted_tau_s * 1e9,
+              coh.measured_linewidth_hz / 1e6, coh.ring_linewidth_hz / 1e6);
+
+  std::printf("\n== purity analysis ==\n");
+  const double mu = exp.source().mean_pairs_per_coherence_time(1);
+  const quantum::TwoModeSqueezedVacuum tmsv(mu);
+  std::printf("mean pairs per coherence time: %.2e\n", mu);
+  std::printf("heralded g2(0) (20%% herald eff.): %.2e  (<< 1: single photons)\n",
+              tmsv.heralded_g2(0.2));
+  std::printf("heralded spectral purity at matched pump bandwidth: %.3f\n",
+              sfwm::heralded_purity(100e6, 100e6));
+  return 0;
+}

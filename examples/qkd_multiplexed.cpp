@@ -1,0 +1,36 @@
+// Application walk-through: entanglement-based QKD over the multiplexed
+// comb (the paper's "secure communications" motivation). The source sits
+// between Alice and Bob; every symmetric channel pair is an independent
+// BBM92 link, so users can be added by assigning channel pairs.
+
+#include <cstdio>
+
+#include "qfc/core/comb_source.hpp"
+#include "qfc/core/qkd.hpp"
+
+int main() {
+  using namespace qfc;
+
+  auto comb =
+      core::QuantumFrequencyComb::for_configuration(core::PumpConfiguration::DoublePulse);
+  auto exp = comb.timebin_default();
+  core::MultiplexedQkdLink link(exp);
+
+  std::printf("== multi-user metro link, 20 km Alice-Bob ==\n");
+  std::printf("%8s %12s %8s %14s %8s\n", "channel", "visibility", "QBER",
+              "key (bit/s)", "key?");
+  for (const auto& ch : link.all_channels(20.0))
+    std::printf("%8d %12.3f %8.3f %14.1f %8s\n", ch.k, ch.visibility, ch.qber,
+                ch.key_rate_bps, ch.key_positive ? "yes" : "no");
+  std::printf("aggregate: %.1f bit/s across 5 multiplexed channel pairs\n",
+              link.aggregate_key_rate_bps(20.0));
+
+  std::printf("\n== rate vs distance (channel 1) ==\n");
+  for (double km : {0.0, 20.0, 50.0, 100.0, 150.0}) {
+    const auto ch = link.channel_performance(1, km);
+    std::printf("%5.0f km: QBER %5.3f, key %8.2f bit/s\n", km, ch.qber,
+                ch.key_rate_bps);
+  }
+  std::printf("cutoff distance: %.0f km\n", link.max_distance_km(1));
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Quickstart: build the integrated quantum frequency comb, inspect the
+// device, generate photon pairs and measure a CAR — ten lines of API.
+
+#include <cstdio>
+
+#include "qfc/core/comb_source.hpp"
+#include "qfc/photonics/constants.hpp"
+#include "qfc/photonics/device_presets.hpp"
+
+int main() {
+  using namespace qfc;
+
+  // 1. A quantum frequency comb in the Sec. II configuration.
+  auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::SelfLockedCw);
+
+  const auto& ring = comb.device();
+  const double pump = photonics::pump_resonance_hz(ring);
+  std::printf("device: Hydex microring, R = %.1f um\n",
+              ring.circumference_m() / (2 * photonics::pi) * 1e6);
+  std::printf("  FSR       %.1f GHz\n",
+              ring.fsr_hz(pump, photonics::Polarization::TE) / 1e9);
+  std::printf("  linewidth %.0f MHz (loaded Q = %.2fM)\n",
+              ring.linewidth_hz(pump, photonics::Polarization::TE) / 1e6,
+              ring.loaded_q(pump, photonics::Polarization::TE) / 1e6);
+
+  // 2. The comb grid: 5 signal/idler channel pairs around the pump.
+  const auto grid = comb.grid(5);
+  for (const auto& pair : grid.pairs())
+    std::printf("  pair %d: signal %s / idler %s\n", pair.k,
+                photonics::CombGrid::describe(pair.signal).c_str(),
+                photonics::CombGrid::describe(pair.idler).c_str());
+
+  // 3. Run a short heralded-photon measurement on channel pair 1.
+  core::HeraldedConfig cfg;
+  cfg.duration_s = 10.0;
+  cfg.num_channel_pairs = 1;
+  auto experiment = comb.heralded(cfg);
+  const auto table = experiment.run_channel_table();
+  std::printf("\n10 s acquisition on channel pair 1:\n");
+  std::printf("  pair rate %.1f Hz, CAR %.1f ± %.1f\n", table[0].coincidence_rate_hz,
+              table[0].car, table[0].car_err);
+  return 0;
+}

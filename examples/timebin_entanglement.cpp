@@ -1,0 +1,43 @@
+// Sec. IV walk-through: double-pulse pumping, analyzer interferometers,
+// quantum-interference fringe and CHSH violation on all comb channels.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "qfc/core/comb_source.hpp"
+
+int main() {
+  using namespace qfc;
+
+  auto comb =
+      core::QuantumFrequencyComb::for_configuration(core::PumpConfiguration::DoublePulse);
+  auto exp = comb.timebin_default();
+
+  const auto& pump = exp.config().pump;
+  std::printf("== double-pulse pump ==\n");
+  std::printf("pulse width %.0f ps, bin separation %.2f ns, rep rate %.1f MHz\n",
+              pump.train.pulse_fwhm_s * 1e12, pump.bin_separation_s * 1e9,
+              pump.train.repetition_rate_hz / 1e6);
+
+  std::printf("\n== channel pair 1: fringe scan ==\n");
+  const auto r1 = exp.run_channel(1);
+  for (std::size_t i = 0; i < r1.scan.phase_rad.size(); i += 2) {
+    std::printf("phase %5.2f rad: %6.0f counts ", r1.scan.phase_rad[i],
+                r1.scan.counts[i]);
+    const int bars = static_cast<int>(40 * r1.scan.counts[i] /
+                                      (*std::max_element(r1.scan.counts.begin(),
+                                                         r1.scan.counts.end()) + 1));
+    for (int b = 0; b < bars; ++b) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("fitted visibility: %.3f (raw, no background correction)\n",
+              r1.fringe_fit.visibility);
+
+  std::printf("\n== CHSH on all 5 channel pairs ==\n");
+  for (const auto& r : exp.run_all_channels())
+    std::printf("channel %d: V = %.3f, S = %.3f ± %.3f  %s\n", r.k,
+                r.fringe_fit.visibility, r.chsh.s, r.chsh.s_err,
+                r.chsh.violates_classical() ? "[violates CHSH]" : "[no violation]");
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "qfc/core/heralded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qfc/detect/event_stream.hpp"
+#include "qfc/detect/fit.hpp"
+#include "qfc/photonics/device_presets.hpp"
+
+namespace qfc::core {
+
+namespace {
+
+photonics::CwPump make_pump(const photonics::MicroringResonator& device,
+                            const HeraldedConfig& cfg) {
+  photonics::CwPump pump;
+  pump.power_w = cfg.pump_power_w;
+  pump.frequency_hz = photonics::pump_resonance_hz(device);
+  pump.locking = photonics::PumpLocking::SelfLocked;
+  return pump;
+}
+
+}  // namespace
+
+HeraldedPhotonExperiment::HeraldedPhotonExperiment(photonics::MicroringResonator device,
+                                                   HeraldedConfig cfg,
+                                                   sfwm::SfwmEfficiency eff)
+    : device_(device),
+      cfg_(cfg),
+      source_(device_, make_pump(device_, cfg_), cfg_.num_channel_pairs, eff) {
+  if (cfg_.duration_s <= 0) throw std::invalid_argument("HeraldedConfig: duration <= 0");
+  if (cfg_.num_channel_pairs < 1)
+    throw std::invalid_argument("HeraldedConfig: need at least one channel pair");
+}
+
+HeraldedPhotonExperiment::ClickStreams HeraldedPhotonExperiment::simulate_streams(
+    double duration_s, std::uint64_t seed_offset) {
+  ClickStreams out;
+  const int n = cfg_.num_channel_pairs;
+  out.signal.resize(static_cast<std::size_t>(n));
+  out.idler.resize(static_cast<std::size_t>(n));
+
+  rng::Xoshiro256 master(cfg_.seed + seed_offset);
+  for (int k = 1; k <= n; ++k) {
+    rng::Xoshiro256 g = master.fork(static_cast<std::uint64_t>(k));
+
+    const ChannelChain sig_chain = cfg_.channels.chain(k, 0);
+    const ChannelChain idl_chain = cfg_.channels.chain(k, 1);
+
+    detect::PairStreamParams p;
+    p.pair_rate_hz = source_.pair_rate_hz(k);
+    p.linewidth_hz = source_.photon_linewidth_hz();
+    p.duration_s = duration_s;
+    p.transmission_a = sig_chain.transmission;
+    p.transmission_b = idl_chain.transmission;
+    const detect::PairStreams photons = detect::generate_pair_arrivals(p, g);
+
+    const detect::SinglePhotonDetector det_s(sig_chain.detector);
+    const detect::SinglePhotonDetector det_i(idl_chain.detector);
+    out.signal[static_cast<std::size_t>(k - 1)] = det_s.detect(photons.a, duration_s, g);
+    out.idler[static_cast<std::size_t>(k - 1)] = det_i.detect(photons.b, duration_s, g);
+  }
+  return out;
+}
+
+std::vector<MatrixCell> HeraldedPhotonExperiment::run_coincidence_matrix() {
+  const ClickStreams streams = simulate_streams(cfg_.duration_s, /*seed_offset=*/1);
+  std::vector<MatrixCell> cells;
+  const int n = cfg_.num_channel_pairs;
+  cells.reserve(static_cast<std::size_t>(n * n));
+  for (int si = 1; si <= n; ++si) {
+    for (int ii = 1; ii <= n; ++ii) {
+      MatrixCell cell;
+      cell.signal_k = si;
+      cell.idler_k = ii;
+      cell.car = detect::measure_car(streams.signal[static_cast<std::size_t>(si - 1)],
+                                     streams.idler[static_cast<std::size_t>(ii - 1)],
+                                     cfg_.coincidence_window_s,
+                                     cfg_.side_window_spacing_s);
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+std::vector<ChannelResult> HeraldedPhotonExperiment::run_channel_table() {
+  const ClickStreams streams = simulate_streams(cfg_.duration_s, /*seed_offset=*/2);
+  std::vector<ChannelResult> out;
+  const int n = cfg_.num_channel_pairs;
+  for (int k = 1; k <= n; ++k) {
+    const auto& s = streams.signal[static_cast<std::size_t>(k - 1)];
+    const auto& i = streams.idler[static_cast<std::size_t>(k - 1)];
+    const detect::CarResult car = detect::measure_car(
+        s, i, cfg_.coincidence_window_s, cfg_.side_window_spacing_s);
+
+    ChannelResult r;
+    r.k = k;
+    // Net pair rate: subtract the accidental floor from the peak window.
+    r.coincidence_rate_hz =
+        std::max(0.0, car.coincidences - car.accidentals) / cfg_.duration_s;
+    r.car = car.car;
+    r.car_err = car.car_err;
+    r.singles_signal_hz = static_cast<double>(s.size()) / cfg_.duration_s;
+    r.singles_idler_hz = static_cast<double>(i.size()) / cfg_.duration_s;
+    out.push_back(r);
+  }
+  return out;
+}
+
+CoherenceResult HeraldedPhotonExperiment::run_coherence_measurement(int k,
+                                                                    double duration_s,
+                                                                    double hist_bin_s,
+                                                                    double hist_range_s) {
+  if (k < 1 || k > cfg_.num_channel_pairs)
+    throw std::out_of_range("run_coherence_measurement: bad channel");
+
+  // Dedicated long acquisition for the time-resolved histogram.
+  rng::Xoshiro256 g(cfg_.seed + 1000 + static_cast<std::uint64_t>(k));
+  const ChannelChain sig_chain = cfg_.channels.chain(k, 0);
+  const ChannelChain idl_chain = cfg_.channels.chain(k, 1);
+
+  detect::PairStreamParams p;
+  p.pair_rate_hz = source_.pair_rate_hz(k);
+  p.linewidth_hz = source_.photon_linewidth_hz();
+  p.duration_s = duration_s;
+  p.transmission_a = sig_chain.transmission;
+  p.transmission_b = idl_chain.transmission;
+  const detect::PairStreams photons = detect::generate_pair_arrivals(p, g);
+
+  const detect::SinglePhotonDetector det_s(sig_chain.detector);
+  const detect::SinglePhotonDetector det_i(idl_chain.detector);
+  const auto clicks_s = det_s.detect(photons.a, duration_s, g);
+  const auto clicks_i = det_i.detect(photons.b, duration_s, g);
+
+  CoherenceResult res;
+  res.histogram = detect::correlate(clicks_s, clicks_i, hist_bin_s, hist_range_s);
+  res.ring_linewidth_hz = source_.photon_linewidth_hz();
+
+  // Background-subtract the flat accidental floor (median of the outermost
+  // bins), then fit the two-sided exponential.
+  const auto& h = res.histogram;
+  double floor = 0;
+  const std::size_t edge = std::max<std::size_t>(4, h.counts.size() / 10);
+  for (std::size_t i = 0; i < edge; ++i)
+    floor += static_cast<double>(h.counts[i] + h.counts[h.counts.size() - 1 - i]);
+  floor /= static_cast<double>(2 * edge);
+
+  // Only fit bins that stand clearly above the floor: keeping bins of
+  // floor-level Poisson noise (where only the positive fluctuations survive
+  // subtraction) would bias the tail flat and stretch the fitted decay.
+  double peak = 0;
+  for (auto c : h.counts) peak = std::max(peak, static_cast<double>(c) - floor);
+  const double threshold =
+      std::max({5.0, 4.0 * std::sqrt(std::max(1.0, floor)), 0.02 * peak});
+
+  std::vector<double> t, y;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const double v = static_cast<double>(h.counts[i]) - floor;
+    if (v > threshold) {
+      t.push_back(h.bin_time(i));
+      y.push_back(v);
+    }
+  }
+  const detect::ExponentialFit fit = detect::fit_two_sided_exponential(t, y);
+  res.fitted_tau_s = fit.tau_s;
+  res.measured_linewidth_hz = detect::linewidth_from_decay_time(fit.tau_s);
+  const double tau_corr =
+      detect::deconvolve_jitter(fit.tau_s, sig_chain.detector.jitter_sigma_s);
+  res.deconvolved_linewidth_hz = detect::linewidth_from_decay_time(tau_corr);
+  return res;
+}
+
+}  // namespace qfc::core

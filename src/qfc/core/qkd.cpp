@@ -1,0 +1,116 @@
+#include "qfc/core/qkd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qfc/photonics/constants.hpp"
+
+namespace qfc::core {
+
+double binary_entropy_bits(double p) {
+  if (p < 0 || p > 1) throw std::invalid_argument("binary_entropy_bits: p outside [0,1]");
+  if (p == 0 || p == 1) return 0.0;
+  return -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+}
+
+double qber_from_visibility(double visibility) {
+  if (visibility < 0 || visibility > 1)
+    throw std::invalid_argument("qber_from_visibility: V outside [0,1]");
+  return (1.0 - visibility) / 2.0;
+}
+
+double bbm92_secret_fraction(double qber) {
+  if (qber < 0 || qber > 0.5)
+    throw std::invalid_argument("bbm92_secret_fraction: QBER outside [0,0.5]");
+  return std::max(0.0, 1.0 - 2.0 * binary_entropy_bits(qber));
+}
+
+MultiplexedQkdLink::MultiplexedQkdLink(const TimebinExperiment& experiment,
+                                       QkdLinkParams params)
+    : experiment_(&experiment), params_(params) {
+  if (params_.coincidence_window_s <= 0)
+    throw std::invalid_argument("QkdLinkParams: window <= 0");
+  if (params_.dark_rate_hz < 0) throw std::invalid_argument("QkdLinkParams: dark rate < 0");
+  if (params_.sifting_factor <= 0 || params_.sifting_factor > 1)
+    throw std::invalid_argument("QkdLinkParams: sifting factor outside (0,1]");
+}
+
+QkdChannelPerformance MultiplexedQkdLink::channel_performance(int k,
+                                                              double distance_km) const {
+  if (distance_km < 0)
+    throw std::invalid_argument("channel_performance: negative distance");
+
+  QkdChannelPerformance perf;
+  perf.k = k;
+  perf.distance_km = distance_km;
+
+  // Symmetric spans: source in the middle.
+  fiber::FiberParams span = params_.fiber;
+  span.length_m = distance_km * 1000.0 / 2.0;
+  const fiber::FiberChannel arm(span);
+  const double t_arm = arm.transmission();
+
+  // Local (L = 0) performance from the experiment model.
+  const auto noise = experiment_->noise_model(k);
+  const double v_state = timebin::state_visibility(noise);
+  const double c0 = experiment_->detected_coincidence_rate_hz(k);
+
+  // Rates after fiber.
+  const double true_coincidences = c0 * t_arm * t_arm;
+  const double pairs_per_s = experiment_->source().mean_pairs_per_pulse(k) * 2.0 *
+                             experiment_->config().pump.train.repetition_rate_hz;
+  const double eta = experiment_->config().detection_efficiency_per_arm;
+  const double singles =
+      pairs_per_s * eta * t_arm * 0.5 /* analyzer post-selection */ +
+      params_.dark_rate_hz;
+  const double accidentals = singles * singles * params_.coincidence_window_s;
+
+  // Dispersion washes out time bins over long spans.
+  const double wavelength = photonics::wavelength_from_frequency(
+      experiment_->source().grid().pair(k).signal.frequency_hz);
+  const double linewidth = experiment_->source().ring().linewidth_hz(
+      experiment_->config().pump.frequency_hz, photonics::Polarization::TE);
+  const double disp_factor = arm.timebin_visibility_factor(
+      wavelength, linewidth, experiment_->config().pump.bin_separation_s);
+
+  const double denom = true_coincidences + accidentals;
+  perf.visibility =
+      denom > 0 ? v_state * disp_factor * true_coincidences / denom : 0.0;
+  perf.qber = qber_from_visibility(perf.visibility);
+  perf.sifted_rate_hz = params_.sifting_factor * denom;
+  perf.secret_fraction = bbm92_secret_fraction(perf.qber);
+  perf.key_rate_bps = perf.sifted_rate_hz * perf.secret_fraction;
+  perf.key_positive = perf.key_rate_bps > 0;
+  return perf;
+}
+
+std::vector<QkdChannelPerformance> MultiplexedQkdLink::all_channels(
+    double distance_km) const {
+  std::vector<QkdChannelPerformance> out;
+  const int n = experiment_->config().num_channel_pairs;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int k = 1; k <= n; ++k) out.push_back(channel_performance(k, distance_km));
+  return out;
+}
+
+double MultiplexedQkdLink::aggregate_key_rate_bps(double distance_km) const {
+  double total = 0;
+  for (const auto& ch : all_channels(distance_km)) total += ch.key_rate_bps;
+  return total;
+}
+
+double MultiplexedQkdLink::max_distance_km(int k, double upper_bound_km) const {
+  double lo = 0, hi = upper_bound_km;
+  if (channel_performance(k, lo).key_rate_bps <= 0) return 0.0;
+  if (channel_performance(k, hi).key_rate_bps > 0) return hi;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = (lo + hi) / 2;
+    if (channel_performance(k, mid).key_rate_bps > 0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace qfc::core

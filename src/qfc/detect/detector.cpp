@@ -1,0 +1,72 @@
+#include "qfc/detect/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qfc/rng/distributions.hpp"
+
+namespace qfc::detect {
+
+void DetectorParams::validate() const {
+  if (efficiency < 0 || efficiency > 1)
+    throw std::invalid_argument("DetectorParams: efficiency outside [0,1]");
+  if (dark_rate_hz < 0) throw std::invalid_argument("DetectorParams: negative dark rate");
+  if (jitter_sigma_s < 0) throw std::invalid_argument("DetectorParams: negative jitter");
+  if (dead_time_s < 0) throw std::invalid_argument("DetectorParams: negative dead time");
+}
+
+SinglePhotonDetector::SinglePhotonDetector(DetectorParams params) : params_(params) {
+  params_.validate();
+}
+
+std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arrivals,
+                                                 double duration_s,
+                                                 rng::Xoshiro256& g) const {
+  if (duration_s <= 0) throw std::invalid_argument("detect: duration <= 0");
+
+  std::vector<double> clicks;
+  clicks.reserve(arrivals.size() / 4 + 16);
+
+  // Photon-induced clicks.
+  for (double t : arrivals) {
+    if (t < 0 || t >= duration_s) continue;
+    if (!rng::sample_bernoulli(g, params_.efficiency)) continue;
+    const double jittered = t + rng::sample_normal(g, 0.0, params_.jitter_sigma_s);
+    if (jittered >= 0 && jittered < duration_s) clicks.push_back(jittered);
+  }
+
+  // Dark / background clicks: homogeneous Poisson process.
+  if (params_.dark_rate_hz > 0) {
+    double t = rng::sample_exponential(g, params_.dark_rate_hz);
+    while (t < duration_s) {
+      clicks.push_back(t);
+      t += rng::sample_exponential(g, params_.dark_rate_hz);
+    }
+  }
+
+  std::sort(clicks.begin(), clicks.end());
+
+  // Dead time: drop clicks closer than dead_time_s to the previous kept one.
+  if (params_.dead_time_s > 0 && !clicks.empty()) {
+    std::vector<double> kept;
+    kept.reserve(clicks.size());
+    double last = -1e18;
+    for (double t : clicks) {
+      if (t - last >= params_.dead_time_s) {
+        kept.push_back(t);
+        last = t;
+      }
+    }
+    clicks.swap(kept);
+  }
+  return clicks;
+}
+
+double SinglePhotonDetector::expected_singles_rate_hz(double photon_rate_hz) const {
+  if (photon_rate_hz < 0)
+    throw std::invalid_argument("expected_singles_rate_hz: negative rate");
+  return photon_rate_hz * params_.efficiency + params_.dark_rate_hz;
+}
+
+}  // namespace qfc::detect

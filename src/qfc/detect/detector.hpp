@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file detector.hpp
+/// Single-photon detector model: quantum efficiency, Poissonian dark/
+/// background counts, Gaussian timing jitter and dead time. This is the
+/// simulated stand-in for the gated InGaAs detectors of refs [6]-[8].
+
+#include <vector>
+
+#include "qfc/rng/xoshiro.hpp"
+
+namespace qfc::detect {
+
+struct DetectorParams {
+  /// Photon detection probability (includes fiber/filter losses if the
+  /// caller folds them in; the experiment layer keeps them separate).
+  double efficiency = 0.20;
+  /// Dark + broadband-background click rate, Hz. Free-running InGaAs
+  /// detectors with in-band background sit in the kHz range.
+  double dark_rate_hz = 1000.0;
+  /// Gaussian timing jitter (sigma), seconds.
+  double jitter_sigma_s = 50e-12;
+  /// Dead time after each click, seconds.
+  double dead_time_s = 10e-6;
+
+  void validate() const;
+};
+
+class SinglePhotonDetector {
+ public:
+  explicit SinglePhotonDetector(DetectorParams params);
+
+  const DetectorParams& params() const noexcept { return params_; }
+
+  /// Turn true photon arrival times (seconds, unsorted OK) into detector
+  /// click timestamps over [0, duration): applies efficiency, adds dark
+  /// counts, jitters, sorts, and applies dead time.
+  std::vector<double> detect(const std::vector<double>& photon_arrivals_s,
+                             double duration_s, rng::Xoshiro256& g) const;
+
+  /// Expected singles rate for a given true photon rate (analytic; ignores
+  /// dead-time saturation which is negligible at the rates simulated here).
+  double expected_singles_rate_hz(double photon_rate_hz) const;
+
+ private:
+  DetectorParams params_;
+};
+
+}  // namespace qfc::detect

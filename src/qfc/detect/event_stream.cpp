@@ -1,0 +1,63 @@
+#include "qfc/detect/event_stream.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "qfc/photonics/constants.hpp"
+#include "qfc/rng/distributions.hpp"
+
+namespace qfc::detect {
+
+void PairStreamParams::validate() const {
+  if (pair_rate_hz < 0) throw std::invalid_argument("PairStreamParams: negative rate");
+  if (linewidth_hz <= 0) throw std::invalid_argument("PairStreamParams: linewidth <= 0");
+  if (duration_s <= 0) throw std::invalid_argument("PairStreamParams: duration <= 0");
+  if (transmission_a < 0 || transmission_a > 1 || transmission_b < 0 || transmission_b > 1)
+    throw std::invalid_argument("PairStreamParams: transmission outside [0,1]");
+}
+
+PairStreams generate_pair_arrivals(const PairStreamParams& p, rng::Xoshiro256& g) {
+  p.validate();
+  PairStreams s;
+  if (p.pair_rate_hz == 0) return s;
+
+  const double delay_scale = 1.0 / (2.0 * photonics::pi * p.linewidth_hz);
+  const std::size_t expected =
+      static_cast<std::size_t>(p.pair_rate_hz * p.duration_s * 1.1) + 16;
+  s.a.reserve(expected);
+  s.b.reserve(expected);
+
+  double t = rng::sample_exponential(g, p.pair_rate_hz);
+  while (t < p.duration_s) {
+    // Symmetrize: put half the Laplace delay on each photon so neither arm
+    // is systematically early.
+    const double delta = rng::sample_double_exponential(g, 1.0 / delay_scale);
+    const double ta = t + delta / 2.0;
+    const double tb = t - delta / 2.0;
+    if (ta >= 0 && ta < p.duration_s && rng::sample_bernoulli(g, p.transmission_a))
+      s.a.push_back(ta);
+    if (tb >= 0 && tb < p.duration_s && rng::sample_bernoulli(g, p.transmission_b))
+      s.b.push_back(tb);
+    t += rng::sample_exponential(g, p.pair_rate_hz);
+  }
+  std::sort(s.a.begin(), s.a.end());
+  std::sort(s.b.begin(), s.b.end());
+  return s;
+}
+
+std::vector<double> generate_poisson_arrivals(double rate_hz, double duration_s,
+                                              rng::Xoshiro256& g) {
+  if (rate_hz < 0) throw std::invalid_argument("generate_poisson_arrivals: negative rate");
+  if (duration_s <= 0) throw std::invalid_argument("generate_poisson_arrivals: duration <= 0");
+  std::vector<double> out;
+  if (rate_hz == 0) return out;
+  double t = rng::sample_exponential(g, rate_hz);
+  while (t < duration_s) {
+    out.push_back(t);
+    t += rng::sample_exponential(g, rate_hz);
+  }
+  return out;
+}
+
+}  // namespace qfc::detect

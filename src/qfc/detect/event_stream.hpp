@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file event_stream.hpp
+/// Monte-Carlo generation of correlated photon arrival-time streams for a
+/// CW-pumped pair source: Poissonian pair emission, two-sided exponential
+/// signal-idler delay (the Fourier pair of the Lorentzian resonance), and
+/// per-arm channel transmission. Detector imperfections are applied
+/// separately by SinglePhotonDetector.
+
+#include <vector>
+
+#include "qfc/rng/xoshiro.hpp"
+
+namespace qfc::detect {
+
+struct PairStreamParams {
+  double pair_rate_hz = 0;      ///< on-chip generated pair rate
+  double linewidth_hz = 0;      ///< Lorentzian FWHM of both photons
+  double duration_s = 0;        ///< experiment duration
+  double transmission_a = 1.0;  ///< channel transmission, signal arm
+  double transmission_b = 1.0;  ///< channel transmission, idler arm
+
+  void validate() const;
+};
+
+struct PairStreams {
+  std::vector<double> a;  ///< photon arrival times, signal arm (sorted)
+  std::vector<double> b;  ///< photon arrival times, idler arm (sorted)
+};
+
+/// Generate correlated arrival streams. The signal-idler delay is Laplace
+/// distributed with scale 1/(2π δν), matching the cavity-SFWM cross-
+/// correlation G²(τ) ∝ exp(−2π δν |τ|).
+PairStreams generate_pair_arrivals(const PairStreamParams& p, rng::Xoshiro256& g);
+
+/// Generate an *uncorrelated* photon stream (e.g. leaked pump, fluorescence)
+/// at the given rate.
+std::vector<double> generate_poisson_arrivals(double rate_hz, double duration_s,
+                                              rng::Xoshiro256& g);
+
+}  // namespace qfc::detect

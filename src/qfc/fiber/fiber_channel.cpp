@@ -1,0 +1,40 @@
+#include "qfc/fiber/fiber_channel.hpp"
+
+#include <cmath>
+
+#include "qfc/photonics/constants.hpp"
+
+namespace qfc::fiber {
+
+FiberChannel::FiberChannel(FiberParams params) : params_(params) { params_.validate(); }
+
+double FiberChannel::transmission() const {
+  const double loss_db = params_.attenuation_db_per_km * params_.length_m / 1000.0;
+  return std::pow(10.0, -loss_db / 10.0);
+}
+
+double FiberChannel::channel_skew_s(double wavelength_a_m, double wavelength_b_m) const {
+  return params_.dispersion_s_per_m2 * params_.length_m *
+         (wavelength_a_m - wavelength_b_m);
+}
+
+double FiberChannel::pulse_broadening_s(double wavelength_m, double linewidth_hz) const {
+  const double c = photonics::speed_of_light_m_per_s;
+  const double dlambda = wavelength_m * wavelength_m * linewidth_hz / c;
+  return std::abs(params_.dispersion_s_per_m2) * params_.length_m * dlambda;
+}
+
+double FiberChannel::timebin_visibility_factor(double wavelength_m, double linewidth_hz,
+                                               double bin_separation_s) const {
+  if (bin_separation_s <= 0)
+    throw std::invalid_argument("timebin_visibility_factor: bin separation <= 0");
+  const double dt = pulse_broadening_s(wavelength_m, linewidth_hz);
+  const double x = dt / bin_separation_s;
+  return std::exp(-x * x);
+}
+
+double pair_rate_scaling(const FiberChannel& a, const FiberChannel& b) {
+  return a.transmission() * b.transmission();
+}
+
+}  // namespace qfc::fiber

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qfc {
+
+/// Thrown when an iterative numerical routine fails to converge or a
+/// decomposition encounters an invalid (e.g. singular, non-PSD) input.
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace qfc

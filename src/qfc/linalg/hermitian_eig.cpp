@@ -1,0 +1,130 @@
+#include "qfc/linalg/hermitian_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "qfc/linalg/error.hpp"
+
+namespace qfc::linalg {
+namespace {
+
+/// Sum of squared magnitudes of strictly off-diagonal elements.
+double off_diag_norm2(const CMat& a) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (i != j) s += std::norm(a(i, j));
+  return s;
+}
+
+/// One cyclic Jacobi sweep on Hermitian `a`, accumulating rotations into `v`
+/// when v != nullptr. Each rotation zeroes a(p,q) exactly.
+void jacobi_sweep(CMat& a, CMat* v) {
+  const std::size_t n = a.rows();
+  for (std::size_t p = 0; p + 1 < n; ++p) {
+    for (std::size_t q = p + 1; q < n; ++q) {
+      const cplx apq = a(p, q);
+      const double mag = std::abs(apq);
+      if (mag < 1e-300) continue;
+
+      // Phase so that e^{-i phi} * apq is real positive.
+      const cplx phase = apq / mag;
+      const double app = std::real(a(p, p));
+      const double aqq = std::real(a(q, q));
+
+      // Classic Jacobi angle: tan(2 theta) = 2|apq| / (app - aqq).
+      const double tau = (aqq - app) / (2.0 * mag);
+      const double t = (tau >= 0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+      const double c = 1.0 / std::sqrt(1.0 + t * t);
+      const double s = t * c;
+      const cplx sp = s * phase;  // complex "sine" carrying the phase
+
+      // Apply A <- J† A J with J acting on columns/rows p,q:
+      //   col_p' =  c*col_p + conj(sp)... — implemented element-wise below.
+      for (std::size_t k = 0; k < n; ++k) {
+        const cplx akp = a(k, p);
+        const cplx akq = a(k, q);
+        a(k, p) = c * akp - std::conj(sp) * akq;
+        a(k, q) = sp * akp + c * akq;
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        const cplx apk = a(p, k);
+        const cplx aqk = a(q, k);
+        a(p, k) = c * apk - sp * aqk;
+        a(q, k) = std::conj(sp) * apk + c * aqk;
+      }
+      // Clean up round-off on the zeroed pair and enforce real diagonal.
+      a(p, q) = cplx(0, 0);
+      a(q, p) = cplx(0, 0);
+      a(p, p) = cplx(std::real(a(p, p)), 0);
+      a(q, q) = cplx(std::real(a(q, q)), 0);
+
+      if (v != nullptr) {
+        for (std::size_t k = 0; k < n; ++k) {
+          const cplx vkp = (*v)(k, p);
+          const cplx vkq = (*v)(k, q);
+          (*v)(k, p) = c * vkp - std::conj(sp) * vkq;
+          (*v)(k, q) = sp * vkp + c * vkq;
+        }
+      }
+    }
+  }
+}
+
+EigResult run(const CMat& input, int max_sweeps, double tol, bool want_vectors) {
+  input.require_square("hermitian_eig");
+  if (!is_hermitian(input, tol))
+    throw std::invalid_argument("hermitian_eig: input is not Hermitian");
+
+  const std::size_t n = input.rows();
+  CMat a = hermitian_part(input);  // symmetrize away round-off
+  CMat v = want_vectors ? CMat::identity(n) : CMat();
+
+  const double scale = std::max(a.frobenius_norm(), 1e-300);
+  const double stop = (1e-14 * scale) * (1e-14 * scale) * static_cast<double>(n * n);
+
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm2(a) <= stop) {
+      converged = true;
+      break;
+    }
+    jacobi_sweep(a, want_vectors ? &v : nullptr);
+  }
+  if (!converged && off_diag_norm2(a) > stop)
+    throw NumericalError("hermitian_eig: Jacobi did not converge");
+
+  EigResult res;
+  res.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.values[i] = std::real(a(i, i));
+
+  // Sort descending, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return res.values[x] > res.values[y]; });
+
+  RVec sorted(n);
+  for (std::size_t i = 0; i < n; ++i) sorted[i] = res.values[order[i]];
+  res.values = std::move(sorted);
+
+  if (want_vectors) {
+    res.vectors = CMat(n, n);
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) res.vectors(i, j) = v(i, order[j]);
+  }
+  return res;
+}
+
+}  // namespace
+
+EigResult hermitian_eig(const CMat& a, int max_sweeps, double hermiticity_tol) {
+  return run(a, max_sweeps, hermiticity_tol, /*want_vectors=*/true);
+}
+
+RVec hermitian_eigenvalues(const CMat& a, int max_sweeps) {
+  return run(a, max_sweeps, 1e-9, /*want_vectors=*/false).values;
+}
+
+}  // namespace qfc::linalg

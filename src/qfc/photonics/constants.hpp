@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file constants.hpp
+/// Physical constants and telecom-band definitions used across the library.
+/// All values carry their unit in the name; no magic numbers elsewhere.
+
+namespace qfc::photonics {
+
+inline constexpr double speed_of_light_m_per_s = 299'792'458.0;
+inline constexpr double planck_J_s = 6.62607015e-34;
+inline constexpr double hbar_J_s = 1.054571817e-34;
+inline constexpr double pi = 3.14159265358979323846;
+
+/// ITU-T G.694.1 DWDM grid anchor frequency.
+inline constexpr double itu_anchor_hz = 193.1e12;
+/// Channel spacing used by the quantum frequency comb in the paper.
+inline constexpr double itu_spacing_200ghz_hz = 200e9;
+
+/// Telecom band edges (vacuum wavelength, meters).
+inline constexpr double s_band_min_wavelength_m = 1460e-9;
+inline constexpr double s_band_max_wavelength_m = 1530e-9;
+inline constexpr double c_band_min_wavelength_m = 1530e-9;
+inline constexpr double c_band_max_wavelength_m = 1565e-9;
+inline constexpr double l_band_min_wavelength_m = 1565e-9;
+inline constexpr double l_band_max_wavelength_m = 1625e-9;
+
+/// Wavelength <-> frequency conversions (vacuum).
+constexpr double frequency_from_wavelength(double wavelength_m) {
+  return speed_of_light_m_per_s / wavelength_m;
+}
+constexpr double wavelength_from_frequency(double frequency_hz) {
+  return speed_of_light_m_per_s / frequency_hz;
+}
+
+/// Telecom band classification for a vacuum frequency.
+enum class TelecomBand { S, C, L, Outside };
+
+constexpr TelecomBand classify_band(double frequency_hz) {
+  const double wl = wavelength_from_frequency(frequency_hz);
+  if (wl >= s_band_min_wavelength_m && wl < s_band_max_wavelength_m) return TelecomBand::S;
+  if (wl >= c_band_min_wavelength_m && wl < c_band_max_wavelength_m) return TelecomBand::C;
+  if (wl >= l_band_min_wavelength_m && wl <= l_band_max_wavelength_m) return TelecomBand::L;
+  return TelecomBand::Outside;
+}
+
+constexpr const char* band_name(TelecomBand b) {
+  switch (b) {
+    case TelecomBand::S: return "S";
+    case TelecomBand::C: return "C";
+    case TelecomBand::L: return "L";
+    default: return "outside";
+  }
+}
+
+/// Energy of one photon at the given frequency.
+constexpr double photon_energy_J(double frequency_hz) {
+  return planck_J_s * frequency_hz;
+}
+
+}  // namespace qfc::photonics

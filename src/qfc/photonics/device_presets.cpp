@@ -1,0 +1,58 @@
+#include "qfc/photonics/device_presets.hpp"
+
+#include "qfc/photonics/constants.hpp"
+
+namespace qfc::photonics {
+
+namespace {
+
+/// Hydex propagation loss (Moss et al. 2013 quote ~0.06 dB/cm).
+constexpr double hydex_loss_db_per_m = 6.0;
+
+/// Radius giving the requested FSR for the given waveguide at 193.1 THz.
+double radius_for_fsr(const Waveguide& wg, double fsr_hz, Polarization pol) {
+  const double ng = wg.group_index(itu_anchor_hz, pol);
+  return speed_of_light_m_per_s / (ng * fsr_hz * 2.0 * pi);
+}
+
+MicroringResonator make_device(WaveguideGeometry geom, double target_linewidth_hz,
+                               double tm_phase_trim = 0.0) {
+  const Waveguide wg(geom, hydex(), 0.012, tm_phase_trim);
+  const double radius = radius_for_fsr(wg, itu_spacing_200ghz_hz, Polarization::TE);
+  const double t = design_symmetric_coupling_for_linewidth(
+      wg, radius, hydex_loss_db_per_m, target_linewidth_hz, itu_anchor_hz);
+  return MicroringResonator(wg, radius, t, t, hydex_loss_db_per_m);
+}
+
+}  // namespace
+
+MicroringResonator heralded_source_device() {
+  // Square core: negligible birefringence; loaded linewidth 110 MHz — the
+  // value the Sec. II photon-linewidth measurement is consistent with.
+  return make_device({1.50e-6, 1.50e-6}, 110e6);
+}
+
+MicroringResonator entanglement_device() {
+  // Loaded Q ≈ 235,000 at 193.1 THz -> linewidth ≈ 822 MHz (ref [8]).
+  return make_device({1.50e-6, 1.50e-6}, itu_anchor_hz / 235000.0);
+}
+
+MicroringResonator type2_device() {
+  // Dispersion-engineered birefringence (tm_phase_trim): the TM resonance
+  // grid is offset by ~33 GHz from the TE grid — enough to kill stimulated
+  // FWM — while the TE and TM FSRs stay equal so spontaneous type-II FWM
+  // remains energy-matched across channels (Sec. III). The 80 MHz loaded
+  // linewidth puts the OPO threshold at ~14 mW for Hydex γ = 0.25 W⁻¹m⁻¹
+  // (ref [7]).
+  return make_device({1.50e-6, 1.50e-6}, 80e6, -1.5e-3);
+}
+
+MicroringResonator type2_device_no_offset() {
+  return make_device({1.50e-6, 1.50e-6}, 80e6);
+}
+
+double pump_resonance_hz(const MicroringResonator& ring, Polarization pol) {
+  return ring.nearest_resonance_hz(itu_anchor_hz, pol);
+}
+
+}  // namespace qfc::photonics

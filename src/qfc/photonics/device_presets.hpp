@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file device_presets.hpp
+/// Ready-made ring devices matching the three experiments summarized in the
+/// paper. Parameter values are taken from (or designed to match) the
+/// figures quoted in the DATE abstract and its references [6]-[8].
+
+#include "qfc/photonics/microring.hpp"
+
+namespace qfc::photonics {
+
+/// Sec. II device (ref [6]): very high-Q ring, 200 GHz FSR, loaded
+/// linewidth ≈ 100 MHz so the measured (jitter-broadened) photon linewidth
+/// comes out at ≈ 110 MHz.
+MicroringResonator heralded_source_device();
+
+/// Sec. IV/V device (ref [8]): 200 GHz FSR ring with loaded Q ≈ 235,000
+/// (linewidth ≈ 820 MHz) used for the time-bin and multi-photon work.
+MicroringResonator entanglement_device();
+
+/// Sec. III device (ref [7]): birefringent ring (width ≠ height) whose
+/// TE/TM resonance grids are mutually offset, suppressing stimulated FWM
+/// while keeping the FSRs nearly equal for spontaneous type-II FWM.
+MicroringResonator type2_device();
+
+/// Same cross-section as type2_device but with a square core (no
+/// birefringence) — the "broken" design used by ablation benches to show
+/// stimulated FWM is NOT suppressed without the TE/TM offset.
+MicroringResonator type2_device_no_offset();
+
+/// The pump frequency used throughout: ring resonance nearest the ITU
+/// anchor 193.1 THz (≈ 1552.5 nm, C band) for the given device.
+double pump_resonance_hz(const MicroringResonator& ring,
+                         Polarization pol = Polarization::TE);
+
+}  // namespace qfc::photonics

@@ -1,0 +1,60 @@
+#include "qfc/photonics/dispersion.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qfc/linalg/solve.hpp"
+
+namespace qfc::photonics {
+
+double integrated_dispersion_hz(const MicroringResonator& ring, double anchor_hz, int k,
+                                Polarization pol) {
+  const int m0 = ring.mode_number_near(anchor_hz, pol);
+  if (m0 + k <= 1 || m0 <= 2)
+    throw std::invalid_argument("integrated_dispersion_hz: mode index underflow");
+  const double nu0 = ring.resonance_frequency_hz(m0, pol);
+  const double fsr = (ring.resonance_frequency_hz(m0 + 1, pol) -
+                      ring.resonance_frequency_hz(m0 - 1, pol)) /
+                     2.0;
+  return ring.resonance_frequency_hz(m0 + k, pol) - nu0 - static_cast<double>(k) * fsr;
+}
+
+DispersionProfile dispersion_profile(const MicroringResonator& ring, double anchor_hz,
+                                     int num_k, Polarization pol) {
+  if (num_k < 2) throw std::invalid_argument("dispersion_profile: need num_k >= 2");
+  DispersionProfile prof;
+  for (int k = -num_k; k <= num_k; ++k) {
+    prof.k.push_back(k);
+    prof.dint_hz.push_back(integrated_dispersion_hz(ring, anchor_hz, k, pol));
+  }
+
+  // Fit Dint(k) = (D2/2) k² + D3' k³ (cubic term absorbs asymmetry).
+  linalg::RMat a(prof.k.size(), 2);
+  linalg::RVec b(prof.k.size());
+  for (std::size_t i = 0; i < prof.k.size(); ++i) {
+    const double kk = static_cast<double>(prof.k[i]);
+    a(i, 0) = kk * kk / 2.0;
+    a(i, 1) = kk * kk * kk / 6.0;
+    b[i] = prof.dint_hz[i];
+  }
+  const linalg::RVec coef = linalg::least_squares(a, b);
+  prof.d2_hz = coef[0];
+  return prof;
+}
+
+int phase_matched_pair_count(const MicroringResonator& ring, double anchor_hz, int max_k,
+                             Polarization pol) {
+  const double lw = ring.linewidth_hz(anchor_hz, pol);
+  int count = 0;
+  for (int k = 1; k <= max_k; ++k) {
+    const double mismatch = integrated_dispersion_hz(ring, anchor_hz, k, pol) +
+                            integrated_dispersion_hz(ring, anchor_hz, -k, pol);
+    if (std::abs(mismatch) < lw / 2.0)
+      ++count;
+    else
+      break;  // mismatch grows monotonically in our devices
+  }
+  return count;
+}
+
+}  // namespace qfc::photonics

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file dispersion.hpp
+/// Integrated-dispersion analysis of the resonance grid: Dint(k), the
+/// second-order dispersion coefficient D2, and the phase-matching
+/// bandwidth that limits how many comb channels generate pairs
+/// efficiently. This is the device-level quantity behind the paper's
+/// "broad frequency comb covering the S, C and L bands".
+
+#include <vector>
+
+#include "qfc/photonics/microring.hpp"
+
+namespace qfc::photonics {
+
+/// Dint(k) = ν_{m0+k} − ν_{m0} − k·FSR(m0): residual deviation of the
+/// resonance grid from an equidistant comb anchored at the mode nearest
+/// `anchor_hz`. The local FSR is defined symmetrically:
+/// FSR(m0) = (ν_{m0+1} − ν_{m0−1})/2.
+double integrated_dispersion_hz(const MicroringResonator& ring, double anchor_hz, int k,
+                                Polarization pol = Polarization::TE);
+
+/// Samples Dint over k = −num_k..num_k.
+struct DispersionProfile {
+  std::vector<int> k;
+  std::vector<double> dint_hz;
+  double d2_hz = 0;  ///< fitted from Dint(k) ≈ (D2/2) k² (least squares)
+};
+
+DispersionProfile dispersion_profile(const MicroringResonator& ring, double anchor_hz,
+                                     int num_k, Polarization pol = Polarization::TE);
+
+/// Number of symmetric channel pairs k for which the SFWM energy mismatch
+/// Dint(k) + Dint(−k) stays below half the resonance linewidth — the
+/// usable comb width for pair generation.
+int phase_matched_pair_count(const MicroringResonator& ring, double anchor_hz,
+                             int max_k, Polarization pol = Polarization::TE);
+
+}  // namespace qfc::photonics

@@ -1,0 +1,110 @@
+#include "qfc/quantum/measures.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qfc/linalg/hermitian_eig.hpp"
+#include "qfc/linalg/matrix_functions.hpp"
+#include "qfc/linalg/svd.hpp"
+#include "qfc/quantum/pauli.hpp"
+
+namespace qfc::quantum {
+
+using linalg::cplx;
+
+double purity(const DensityMatrix& rho) {
+  return std::real((rho.matrix() * rho.matrix()).trace());
+}
+
+double von_neumann_entropy_bits(const DensityMatrix& rho) {
+  const auto evals = linalg::hermitian_eigenvalues(rho.matrix());
+  double s = 0;
+  for (double v : evals)
+    if (v > 1e-14) s -= v * std::log2(v);
+  return s;
+}
+
+double fidelity(const DensityMatrix& rho, const DensityMatrix& sigma) {
+  if (rho.dim() != sigma.dim()) throw std::invalid_argument("fidelity: dim mismatch");
+  const linalg::CMat sr = linalg::sqrtm_psd(rho.matrix());
+  const linalg::CMat inner = sr * sigma.matrix() * sr;
+  const linalg::CMat root = linalg::sqrtm_psd(inner, 1e-7);
+  const double tr = std::real(root.trace());
+  return std::min(1.0, tr * tr);
+}
+
+double fidelity(const DensityMatrix& rho, const StateVector& target) {
+  if (rho.dim() != target.dim()) throw std::invalid_argument("fidelity: dim mismatch");
+  const auto& v = target.amplitudes();
+  cplx s(0, 0);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    for (std::size_t j = 0; j < v.size(); ++j)
+      s += std::conj(v[i]) * rho.matrix()(i, j) * v[j];
+  return std::min(1.0, std::max(0.0, std::real(s)));
+}
+
+double trace_distance(const DensityMatrix& rho, const DensityMatrix& sigma) {
+  if (rho.dim() != sigma.dim()) throw std::invalid_argument("trace_distance: dim mismatch");
+  linalg::CMat d = rho.matrix();
+  d -= sigma.matrix();
+  const auto evals = linalg::hermitian_eigenvalues(d);
+  double s = 0;
+  for (double v : evals) s += std::abs(v);
+  return 0.5 * s;
+}
+
+double concurrence(const DensityMatrix& rho) {
+  if (rho.dim() != 4) throw std::invalid_argument("concurrence: needs a two-qubit state");
+  // Wootters: C = max(0, λ1 − λ2 − λ3 − λ4) with λi the descending square
+  // roots of the eigenvalues of ρ (Y⊗Y) ρ* (Y⊗Y).
+  const linalg::CMat yy = linalg::kron(pauli_y(), pauli_y());
+  const linalg::CMat rt = rho.matrix() * yy * rho.matrix().conj() * yy;
+  // rt is similar to a PSD product; its eigenvalues are real non-negative.
+  // Use the Hermitian trick: eigenvalues of rt equal those of
+  // sqrt(ρ) (Y⊗Y) ρ* (Y⊗Y) sqrt(ρ), which is Hermitian PSD.
+  const linalg::CMat sr = linalg::sqrtm_psd(rho.matrix());
+  const linalg::CMat herm = sr * yy * rho.matrix().conj() * yy * sr;
+  auto evals = linalg::hermitian_eigenvalues(herm);
+  for (auto& v : evals) v = std::sqrt(std::max(0.0, v));
+  // evals are sorted descending already.
+  const double c = evals[0] - evals[1] - evals[2] - evals[3];
+  return std::max(0.0, c);
+}
+
+double negativity(const DensityMatrix& rho, std::size_t qubits_in_first_subsystem) {
+  const std::size_t n = rho.num_qubits();
+  if (qubits_in_first_subsystem == 0 || qubits_in_first_subsystem >= n)
+    throw std::invalid_argument("negativity: bad split");
+  const std::size_t d1 = std::size_t{1} << qubits_in_first_subsystem;
+  const std::size_t d2 = rho.dim() / d1;
+
+  // Partial transpose over subsystem 2.
+  linalg::CMat pt(rho.dim(), rho.dim());
+  for (std::size_t i1 = 0; i1 < d1; ++i1)
+    for (std::size_t i2 = 0; i2 < d2; ++i2)
+      for (std::size_t j1 = 0; j1 < d1; ++j1)
+        for (std::size_t j2 = 0; j2 < d2; ++j2)
+          pt(i1 * d2 + j2, j1 * d2 + i2) = rho.matrix()(i1 * d2 + i2, j1 * d2 + j2);
+
+  const auto evals = linalg::hermitian_eigenvalues(pt);
+  double s = 0;
+  for (double v : evals)
+    if (v < 0) s += -v;
+  return s;
+}
+
+linalg::RVec schmidt_coefficients(const StateVector& psi,
+                                  std::size_t qubits_in_first_subsystem) {
+  const std::size_t n = psi.num_qubits();
+  if (qubits_in_first_subsystem == 0 || qubits_in_first_subsystem >= n)
+    throw std::invalid_argument("schmidt_coefficients: bad split");
+  const std::size_t d1 = std::size_t{1} << qubits_in_first_subsystem;
+  const std::size_t d2 = psi.dim() / d1;
+  linalg::CMat m(d1, d2);
+  for (std::size_t i = 0; i < d1; ++i)
+    for (std::size_t j = 0; j < d2; ++j) m(i, j) = psi.amplitude(i * d2 + j);
+  auto res = linalg::svd(m);
+  return res.sigma;
+}
+
+}  // namespace qfc::quantum

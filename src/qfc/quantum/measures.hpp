@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file measures.hpp
+/// State metrics: purity, entropy, fidelity, trace distance, concurrence
+/// (two-qubit entanglement), and negativity (PPT criterion).
+
+#include "qfc/quantum/state.hpp"
+
+namespace qfc::quantum {
+
+/// Tr(ρ²) ∈ [1/d, 1].
+double purity(const DensityMatrix& rho);
+
+/// Von Neumann entropy −Tr(ρ log₂ ρ), in bits.
+double von_neumann_entropy_bits(const DensityMatrix& rho);
+
+/// Uhlmann fidelity F(ρ, σ) = (Tr √(√ρ σ √ρ))² ∈ [0, 1].
+double fidelity(const DensityMatrix& rho, const DensityMatrix& sigma);
+
+/// Fidelity against a pure target: <ψ|ρ|ψ>.
+double fidelity(const DensityMatrix& rho, const StateVector& target);
+
+/// Trace distance ½ Tr|ρ − σ|.
+double trace_distance(const DensityMatrix& rho, const DensityMatrix& sigma);
+
+/// Wootters concurrence of a two-qubit state; 0 = separable, 1 = Bell.
+double concurrence(const DensityMatrix& rho);
+
+/// Negativity: sum of |negative eigenvalues| of the partial transpose over
+/// the second subsystem (dims must split as d1 x d2 with d1*d2 = dim).
+double negativity(const DensityMatrix& rho, std::size_t qubits_in_first_subsystem);
+
+/// Schmidt coefficients (descending, squared sums to 1) of a bipartite pure
+/// state split after `qubits_in_first_subsystem` qubits.
+linalg::RVec schmidt_coefficients(const StateVector& psi,
+                                  std::size_t qubits_in_first_subsystem);
+
+}  // namespace qfc::quantum

@@ -1,0 +1,185 @@
+#include "qfc/quantum/state.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qfc/linalg/hermitian_eig.hpp"
+
+namespace qfc::quantum {
+
+std::size_t qubits_for_dim(std::size_t dim) {
+  if (dim == 0) throw std::invalid_argument("qubits_for_dim: zero dimension");
+  std::size_t n = 0;
+  std::size_t d = dim;
+  while (d > 1) {
+    if (d % 2 != 0) throw std::invalid_argument("qubits_for_dim: not a power of two");
+    d /= 2;
+    ++n;
+  }
+  return n;
+}
+
+StateVector::StateVector(std::size_t num_qubits)
+    : num_qubits_(num_qubits), amps_(std::size_t{1} << num_qubits, cplx(0, 0)) {
+  if (num_qubits == 0 || num_qubits > 20)
+    throw std::invalid_argument("StateVector: unsupported qubit count");
+  amps_[0] = cplx(1, 0);
+}
+
+StateVector::StateVector(CVec amplitudes) : amps_(std::move(amplitudes)) {
+  num_qubits_ = qubits_for_dim(amps_.size());
+  linalg::vnormalize(amps_);
+}
+
+StateVector StateVector::tensor(const StateVector& other) const {
+  return StateVector(linalg::kron(amps_, other.amps_));
+}
+
+cplx StateVector::overlap(const StateVector& other) const {
+  if (dim() != other.dim()) throw std::invalid_argument("StateVector::overlap: dim mismatch");
+  return linalg::vdot(amps_, other.amps_);
+}
+
+double StateVector::overlap_probability(const StateVector& other) const {
+  return std::norm(overlap(other));
+}
+
+StateVector StateVector::apply(const CMat& u) const {
+  if (u.rows() != dim() || u.cols() != dim())
+    throw std::invalid_argument("StateVector::apply: operator dim mismatch");
+  return StateVector(u * amps_);
+}
+
+StateVector StateVector::apply_single(const CMat& u2, std::size_t qubit) const {
+  if (u2.rows() != 2 || u2.cols() != 2)
+    throw std::invalid_argument("StateVector::apply_single: need a 2x2 operator");
+  if (qubit >= num_qubits_)
+    throw std::out_of_range("StateVector::apply_single: qubit out of range");
+
+  CVec out(amps_.size(), cplx(0, 0));
+  // Qubit 0 is the most significant bit.
+  const std::size_t shift = num_qubits_ - 1 - qubit;
+  const std::size_t mask = std::size_t{1} << shift;
+  for (std::size_t idx = 0; idx < amps_.size(); ++idx) {
+    const std::size_t bit = (idx & mask) ? 1 : 0;
+    const std::size_t base = idx & ~mask;
+    out[idx] = u2(bit, 0) * amps_[base] + u2(bit, 1) * amps_[base | mask];
+  }
+  return StateVector(std::move(out));
+}
+
+double StateVector::probability(std::size_t basis_index) const {
+  return std::norm(amps_.at(basis_index));
+}
+
+DensityMatrix::DensityMatrix(std::size_t num_qubits)
+    : num_qubits_(num_qubits),
+      rho_(CMat::identity(std::size_t{1} << num_qubits)) {
+  if (num_qubits == 0 || num_qubits > 10)
+    throw std::invalid_argument("DensityMatrix: unsupported qubit count");
+  rho_ *= cplx(1.0 / static_cast<double>(dim()), 0);
+}
+
+DensityMatrix::DensityMatrix(const StateVector& psi)
+    : num_qubits_(psi.num_qubits()),
+      rho_(linalg::outer(psi.amplitudes(), psi.amplitudes())) {}
+
+DensityMatrix::DensityMatrix(CMat rho, double psd_tol) : rho_(std::move(rho)) {
+  rho_.require_square("DensityMatrix");
+  num_qubits_ = qubits_for_dim(rho_.rows());
+  if (!linalg::is_hermitian(rho_, 1e-8))
+    throw std::invalid_argument("DensityMatrix: not Hermitian");
+  const double tr = std::real(rho_.trace());
+  if (std::abs(tr - 1.0) > 1e-6)
+    throw std::invalid_argument("DensityMatrix: trace != 1");
+  const auto evals = linalg::hermitian_eigenvalues(rho_);
+  for (double v : evals)
+    if (v < -psd_tol) throw std::invalid_argument("DensityMatrix: not positive semidefinite");
+}
+
+cplx DensityMatrix::expectation(const CMat& observable) const {
+  if (observable.rows() != dim() || observable.cols() != dim())
+    throw std::invalid_argument("DensityMatrix::expectation: dim mismatch");
+  return (rho_ * observable).trace();
+}
+
+double DensityMatrix::probability(const CMat& projector) const {
+  const double p = std::real(expectation(projector));
+  return std::min(1.0, std::max(0.0, p));
+}
+
+DensityMatrix DensityMatrix::tensor(const DensityMatrix& other) const {
+  DensityMatrix out(*this);
+  out.rho_ = linalg::kron(rho_, other.rho_);
+  out.num_qubits_ = num_qubits_ + other.num_qubits_;
+  return out;
+}
+
+DensityMatrix DensityMatrix::partial_trace_keep(const std::vector<std::size_t>& keep) const {
+  if (keep.empty())
+    throw std::invalid_argument("partial_trace_keep: must keep at least one qubit");
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] >= num_qubits_) throw std::out_of_range("partial_trace_keep: bad qubit");
+    if (i > 0 && keep[i] <= keep[i - 1])
+      throw std::invalid_argument("partial_trace_keep: qubits must be strictly ascending");
+  }
+
+  const std::size_t nk = keep.size();
+  const std::size_t out_dim = std::size_t{1} << nk;
+
+  // Complement (traced-out) qubits.
+  std::vector<std::size_t> traced;
+  for (std::size_t q = 0; q < num_qubits_; ++q) {
+    bool kept = false;
+    for (std::size_t kq : keep) kept |= (kq == q);
+    if (!kept) traced.push_back(q);
+  }
+  const std::size_t nt = traced.size();
+  const std::size_t tr_dim = std::size_t{1} << nt;
+
+  // Build a full-register index from (kept-bits, traced-bits) patterns.
+  const auto make_index = [&](std::size_t kept_bits, std::size_t traced_bits) {
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < nk; ++i) {
+      const std::size_t shift = num_qubits_ - 1 - keep[i];
+      if (kept_bits & (std::size_t{1} << (nk - 1 - i))) idx |= std::size_t{1} << shift;
+    }
+    for (std::size_t i = 0; i < nt; ++i) {
+      const std::size_t shift = num_qubits_ - 1 - traced[i];
+      if (traced_bits & (std::size_t{1} << (nt - 1 - i))) idx |= std::size_t{1} << shift;
+    }
+    return idx;
+  };
+
+  CMat out(out_dim, out_dim);
+  for (std::size_t a = 0; a < out_dim; ++a)
+    for (std::size_t b = 0; b < out_dim; ++b) {
+      cplx s(0, 0);
+      for (std::size_t t = 0; t < tr_dim; ++t)
+        s += rho_(make_index(a, t), make_index(b, t));
+      out(a, b) = s;
+    }
+
+  DensityMatrix res(*this);
+  res.rho_ = std::move(out);
+  res.num_qubits_ = nk;
+  return res;
+}
+
+DensityMatrix DensityMatrix::mix(const DensityMatrix& other, double p) const {
+  if (p < 0 || p > 1) throw std::invalid_argument("DensityMatrix::mix: p outside [0,1]");
+  if (dim() != other.dim()) throw std::invalid_argument("DensityMatrix::mix: dim mismatch");
+  DensityMatrix out(*this);
+  out.rho_ = rho_ * cplx(1 - p, 0) + other.rho_ * cplx(p, 0);
+  return out;
+}
+
+DensityMatrix DensityMatrix::evolve(const CMat& u) const {
+  if (u.rows() != dim() || u.cols() != dim())
+    throw std::invalid_argument("DensityMatrix::evolve: dim mismatch");
+  DensityMatrix out(*this);
+  out.rho_ = u * rho_ * u.adjoint();
+  return out;
+}
+
+}  // namespace qfc::quantum

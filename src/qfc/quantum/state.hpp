@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file state.hpp
+/// Multi-qubit pure states and density matrices. Qubit 0 is the most
+/// significant bit of the computational-basis index (|q0 q1 ... qn-1>).
+
+#include <cstddef>
+#include <vector>
+
+#include "qfc/linalg/matrix.hpp"
+
+namespace qfc::quantum {
+
+using linalg::cplx;
+using linalg::CMat;
+using linalg::CVec;
+
+/// Normalized pure state of n qubits.
+class StateVector {
+ public:
+  /// |0...0> of n qubits.
+  explicit StateVector(std::size_t num_qubits);
+
+  /// From amplitudes (size must be a power of two); normalizes unless
+  /// already normalized, throws on the zero vector.
+  explicit StateVector(CVec amplitudes);
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dim() const noexcept { return amps_.size(); }
+  const CVec& amplitudes() const noexcept { return amps_; }
+  cplx amplitude(std::size_t basis_index) const { return amps_.at(basis_index); }
+
+  /// Tensor product |this> ⊗ |other>.
+  StateVector tensor(const StateVector& other) const;
+
+  /// <this|other>.
+  cplx overlap(const StateVector& other) const;
+
+  /// |<this|other>|².
+  double overlap_probability(const StateVector& other) const;
+
+  /// Apply a unitary on the full register (dim x dim).
+  StateVector apply(const CMat& u) const;
+
+  /// Apply a single-qubit unitary on the given qubit.
+  StateVector apply_single(const CMat& u2, std::size_t qubit) const;
+
+  /// Probability of measuring the given computational-basis outcome.
+  double probability(std::size_t basis_index) const;
+
+ private:
+  std::size_t num_qubits_;
+  CVec amps_;
+};
+
+/// Density matrix of n qubits: Hermitian, unit trace, PSD (validated).
+class DensityMatrix {
+ public:
+  /// Maximally mixed state I/2^n.
+  explicit DensityMatrix(std::size_t num_qubits);
+
+  /// |psi><psi|.
+  explicit DensityMatrix(const StateVector& psi);
+
+  /// From a raw matrix; validates shape/Hermiticity/trace; PSD check is
+  /// tolerance-based (small negative eigenvalues allowed up to psd_tol).
+  explicit DensityMatrix(CMat rho, double psd_tol = 1e-8);
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dim() const noexcept { return rho_.rows(); }
+  const CMat& matrix() const noexcept { return rho_; }
+
+  /// Tr(ρ O).
+  cplx expectation(const CMat& observable) const;
+
+  /// Probability Tr(ρ P) of projector P, clipped to [0, 1].
+  double probability(const CMat& projector) const;
+
+  /// ρ ⊗ σ.
+  DensityMatrix tensor(const DensityMatrix& other) const;
+
+  /// Partial trace keeping the listed qubits (ascending order preserved).
+  DensityMatrix partial_trace_keep(const std::vector<std::size_t>& keep) const;
+
+  /// Convex mixture (1−p) ρ + p σ.
+  DensityMatrix mix(const DensityMatrix& other, double p) const;
+
+  /// U ρ U†.
+  DensityMatrix evolve(const CMat& u) const;
+
+ private:
+  std::size_t num_qubits_;
+  CMat rho_;
+};
+
+/// Number of qubits for a dimension that must be a power of two.
+std::size_t qubits_for_dim(std::size_t dim);
+
+}  // namespace qfc::quantum

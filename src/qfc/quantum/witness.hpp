@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file witness.hpp
+/// Entanglement witnesses: experimentally friendly operators W with
+/// Tr(Wρ) >= 0 for all separable ρ and Tr(Wρ) < 0 for states close to a
+/// chosen entangled target — the standard certification tool when full
+/// tomography (Sec. V) is too expensive.
+
+#include "qfc/quantum/state.hpp"
+
+namespace qfc::quantum {
+
+/// Projector witness for a pure target |ψ>:  W = α I − |ψ><ψ| with
+/// α = max over biseparable states of <ψ|ρ|ψ>. For a Bell state α = 1/2;
+/// for an n-qubit GHZ/cluster state α = 1/2 as well.
+linalg::CMat projector_witness(const StateVector& target, double alpha = 0.5);
+
+/// <W> = Tr(Wρ); negative certifies entanglement (w.r.t. the witness's α).
+double witness_expectation(const linalg::CMat& witness, const DensityMatrix& rho);
+
+/// Convenience: witness value of ρ against a Bell Φ target:
+/// <W> = 1/2 − F(ρ, Φ). For a Werner state F = (1+3V)/4, so the witness
+/// goes negative exactly when V > 1/3.
+double bell_witness_value(const DensityMatrix& rho, double phase_rad = 0.0);
+
+/// n-qubit GHZ state (|0...0> + e^{iφ}|1...1>)/√2.
+StateVector ghz_state(std::size_t num_qubits, double phase_rad = 0.0);
+
+/// Visibility threshold above which a Werner-type mixture of an n-qubit
+/// target is detected by the projector witness:
+///   <W> = α − [V + (1−V)/d] < 0  ⟺  V > (α d − 1)/(d − 1),  d = 2^n.
+/// Bell (n = 2, α = 1/2): V* = 1/3.
+double werner_detection_threshold(std::size_t num_qubits, double alpha = 0.5);
+
+}  // namespace qfc::quantum

@@ -1,0 +1,25 @@
+#include "qfc/rng/ou_process.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "qfc/rng/distributions.hpp"
+
+namespace qfc::rng {
+
+OrnsteinUhlenbeck::OrnsteinUhlenbeck(double mean, double correlation_time,
+                                     double stationary_sigma, double initial)
+    : mean_(mean), tau_(correlation_time), sigma_(stationary_sigma), x_(initial) {
+  if (tau_ <= 0) throw std::invalid_argument("OrnsteinUhlenbeck: correlation_time must be > 0");
+  if (sigma_ < 0) throw std::invalid_argument("OrnsteinUhlenbeck: negative sigma");
+}
+
+double OrnsteinUhlenbeck::step(Xoshiro256& g, double dt) {
+  if (dt < 0) throw std::invalid_argument("OrnsteinUhlenbeck::step: negative dt");
+  const double decay = std::exp(-dt / tau_);
+  const double noise = sigma_ * std::sqrt(std::max(0.0, 1.0 - decay * decay));
+  x_ = mean_ + (x_ - mean_) * decay + noise * sample_normal(g);
+  return x_;
+}
+
+}  // namespace qfc::rng

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file ou_process.hpp
+/// Ornstein–Uhlenbeck process used to model slow laboratory drifts
+/// (thermal resonance drift, interferometer phase wander). Exact discrete
+/// update — valid for arbitrary step sizes.
+
+#include "qfc/rng/xoshiro.hpp"
+
+namespace qfc::rng {
+
+class OrnsteinUhlenbeck {
+ public:
+  /// \param mean          long-term mean the process reverts to
+  /// \param correlation_time  1/theta, seconds; larger = slower drift
+  /// \param stationary_sigma  standard deviation of the stationary state
+  /// \param initial       starting value
+  OrnsteinUhlenbeck(double mean, double correlation_time, double stationary_sigma,
+                    double initial);
+
+  /// Advance by dt seconds and return the new value. Uses the exact
+  /// solution x' = m + (x-m) e^{-dt/tau} + sigma sqrt(1-e^{-2 dt/tau}) N(0,1).
+  double step(Xoshiro256& g, double dt);
+
+  double value() const noexcept { return x_; }
+  void reset(double x) noexcept { x_ = x; }
+
+ private:
+  double mean_;
+  double tau_;
+  double sigma_;
+  double x_;
+};
+
+}  // namespace qfc::rng

@@ -1,0 +1,81 @@
+#include "qfc/sfwm/phase_matching.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qfc::sfwm {
+
+double type0_energy_mismatch_hz(const MicroringResonator& ring, double pump_hz, int k,
+                                Polarization pol) {
+  if (k == 0) throw std::invalid_argument("type0_energy_mismatch: k must be nonzero");
+  const int mp = ring.mode_number_near(pump_hz, pol);
+  const double nu_p = ring.resonance_frequency_hz(mp, pol);
+  const double nu_s = ring.resonance_frequency_hz(mp + k, pol);
+  const double nu_i = ring.resonance_frequency_hz(mp - k, pol);
+  return nu_s + nu_i - 2.0 * nu_p;
+}
+
+double type2_energy_mismatch_hz(const MicroringResonator& ring, double pump_te_hz,
+                                double pump_tm_hz, int k) {
+  if (k == 0) throw std::invalid_argument("type2_energy_mismatch: k must be nonzero");
+  const int m_te = ring.mode_number_near(pump_te_hz, Polarization::TE);
+  const int m_tm = ring.mode_number_near(pump_tm_hz, Polarization::TM);
+  const double nu_pte = ring.resonance_frequency_hz(m_te, Polarization::TE);
+  const double nu_ptm = ring.resonance_frequency_hz(m_tm, Polarization::TM);
+  // Signal emitted on the TE grid above the TE pump, idler on the TM grid
+  // below the TM pump (the mirrored assignment has the same |mismatch| by
+  // symmetry of the grids).
+  const double nu_s = ring.resonance_frequency_hz(m_te + k, Polarization::TE);
+  const double nu_i = ring.resonance_frequency_hz(m_tm - k, Polarization::TM);
+  return nu_s + nu_i - (nu_pte + nu_ptm);
+}
+
+double lorentzian_pm_factor(double mismatch_hz, double linewidth_s_hz,
+                            double linewidth_i_hz) {
+  if (linewidth_s_hz <= 0 || linewidth_i_hz <= 0)
+    throw std::invalid_argument("lorentzian_pm_factor: linewidth <= 0");
+  const double x = 2.0 * mismatch_hz / (linewidth_s_hz + linewidth_i_hz);
+  return 1.0 / (1.0 + x * x);
+}
+
+double stimulated_fwm_detuning_hz(const MicroringResonator& ring, double pump_te_hz,
+                                  double pump_tm_hz) {
+  const double nu_pte =
+      ring.nearest_resonance_hz(pump_te_hz, Polarization::TE);
+  const double nu_ptm =
+      ring.nearest_resonance_hz(pump_tm_hz, Polarization::TM);
+
+  // Bragg-scattering / stimulated products. With two pumps P_TE, P_TM the
+  // bright processes are 2ν_TE − ν_TM (TM-polarized product) and
+  // 2ν_TM − ν_TE (TE-polarized product); each needs a resonance of its own
+  // polarization to build up.
+  const double prod_tm = 2.0 * nu_pte - nu_ptm;
+  const double prod_te = 2.0 * nu_ptm - nu_pte;
+  const double det_tm =
+      std::abs(prod_tm - ring.nearest_resonance_hz(prod_tm, Polarization::TM));
+  const double det_te =
+      std::abs(prod_te - ring.nearest_resonance_hz(prod_te, Polarization::TE));
+  return std::min(det_tm, det_te);
+}
+
+double stimulated_fwm_suppression_db(const MicroringResonator& ring, double pump_te_hz,
+                                     double pump_tm_hz) {
+  const double det = stimulated_fwm_detuning_hz(ring, pump_te_hz, pump_tm_hz);
+  // Both product polarizations have (near-)equal linewidths in our model;
+  // use the TE linewidth at the TE pump as the reference scale.
+  const double lw = ring.linewidth_hz(pump_te_hz, Polarization::TE);
+  const double x = 2.0 * det / lw;
+  return 10.0 * std::log10(1.0 + x * x);
+}
+
+double te_tm_grid_offset_hz(const MicroringResonator& ring, double near_hz) {
+  const double te = ring.nearest_resonance_hz(near_hz, Polarization::TE);
+  const double tm = ring.nearest_resonance_hz(te, Polarization::TM);
+  const double fsr = ring.fsr_hz(near_hz, Polarization::TM);
+  double off = tm - te;
+  while (off > fsr / 2) off -= fsr;
+  while (off <= -fsr / 2) off += fsr;
+  return off;
+}
+
+}  // namespace qfc::sfwm

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file phase_matching.hpp
+/// Energy-conservation / phase-matching bookkeeping on the resonance grid.
+/// In a microring, momentum conservation is automatic for resonances
+/// (mode numbers satisfy m_s + m_i = 2 m_p); what remains is *energy*
+/// mismatch: the generated photons must sit on resonances whose frequencies
+/// sum to the pump-photon sum. Residual dispersion detunes the outer
+/// channels; the type-II TE/TM offset detunes the *stimulated* process.
+
+#include "qfc/photonics/microring.hpp"
+#include "qfc/photonics/pump.hpp"
+
+namespace qfc::sfwm {
+
+using photonics::MicroringResonator;
+using photonics::Polarization;
+
+/// Energy mismatch Δν(k) = ν_s(k) + ν_i(k) − 2 ν_p for type-0 SFWM on the
+/// resonance grid of the given polarization; ν_p is the resonance nearest
+/// `pump_hz`, signal/idler are the resonances k FSRs above/below.
+double type0_energy_mismatch_hz(const MicroringResonator& ring, double pump_hz, int k,
+                                Polarization pol = Polarization::TE);
+
+/// Energy mismatch for type-II: signal on the TE grid (+k from the TE
+/// pump), idler on the TM grid (−k from the TM pump), against
+/// ν_TE + ν_TM of the two pump resonances.
+double type2_energy_mismatch_hz(const MicroringResonator& ring, double pump_te_hz,
+                                double pump_tm_hz, int k);
+
+/// Lorentzian-overlap pair-generation suppression for a given energy
+/// mismatch and the two emitting-resonance linewidths:
+///   η = 1 / (1 + (2Δν/(δν_s + δν_i))²).
+double lorentzian_pm_factor(double mismatch_hz, double linewidth_s_hz,
+                            double linewidth_i_hz);
+
+/// Detuning of the *stimulated* (classical, bright) FWM products
+/// 2ν_TE − ν_TM and 2ν_TM − ν_TE from the nearest resonance of the
+/// polarization that the product field would have (TM and TE
+/// respectively). Returns the smaller of the two detunings: if it is large
+/// compared to the linewidth, stimulated FWM cannot build up (paper
+/// Sec. III).
+double stimulated_fwm_detuning_hz(const MicroringResonator& ring, double pump_te_hz,
+                                  double pump_tm_hz);
+
+/// Suppression of the stimulated process in dB:
+/// 10 log10(1 + (2Δ/δν)²) for the detuning above.
+double stimulated_fwm_suppression_db(const MicroringResonator& ring, double pump_te_hz,
+                                     double pump_tm_hz);
+
+/// TE/TM resonance-grid offset near the given frequency, folded into
+/// (−FSR/2, FSR/2]: the design parameter the paper tunes via the waveguide
+/// cross-section.
+double te_tm_grid_offset_hz(const MicroringResonator& ring, double near_hz);
+
+}  // namespace qfc::sfwm

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file tomography.hpp
+/// Quantum state tomography of time-bin qubit registers (paper Sec. V):
+/// measurement-setting generation (each qubit in Z, X or Y — arrival time
+/// or interferometer phase 0 / π/2), count simulation, linear-inversion
+/// and maximum-likelihood (iterative RρR) reconstruction.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qfc/quantum/state.hpp"
+#include "qfc/rng/xoshiro.hpp"
+
+namespace qfc::tomo {
+
+/// One measurement setting: a basis label per qubit, e.g. "XY" for a
+/// two-qubit setting measuring X on qubit 0 and Y on qubit 1.
+struct MeasurementSetting {
+  std::string bases;  ///< characters from {X, Y, Z}
+
+  std::size_t num_qubits() const { return bases.size(); }
+};
+
+/// All 3^n settings for n qubits, in lexicographic order (X < Y < Z).
+std::vector<MeasurementSetting> all_settings(std::size_t num_qubits);
+
+/// Projector onto outcome o (bitmask, bit q = 1 means the −1 eigenstate on
+/// qubit q, with qubit 0 the most significant bit) of the given setting.
+linalg::CMat outcome_projector(const MeasurementSetting& s, std::size_t outcome);
+
+/// Counts observed for one setting: counts[outcome] for all 2^n outcomes.
+struct SettingCounts {
+  MeasurementSetting setting;
+  std::vector<std::uint64_t> counts;
+
+  std::uint64_t total() const;
+};
+
+struct NoiseKnobs {
+  /// RMS analyzer-phase error applied to X/Y bases per setting (systematic
+  /// within a setting, random across settings), radians.
+  double analyzer_phase_rms_rad = 0.0;
+  /// Flat accidental counts added to every outcome of every setting.
+  double accidentals_per_outcome = 0.0;
+};
+
+/// Simulate tomography data: for each setting, Poisson counts around
+/// shots_per_setting x outcome probability (+ noise knobs).
+std::vector<SettingCounts> simulate_counts(const quantum::DensityMatrix& rho,
+                                           double shots_per_setting,
+                                           const NoiseKnobs& noise, rng::Xoshiro256& g);
+
+/// Linear-inversion estimate: ρ = (1/2^n) Σ_s <σ_s> σ_s over all 4^n Pauli
+/// strings, with each expectation estimated from a compatible setting
+/// (I components marginalized). The result is Hermitian/unit-trace but can
+/// be non-physical; project with linalg::project_to_density_matrix or feed
+/// it to MLE.
+linalg::CMat linear_inversion(const std::vector<SettingCounts>& data);
+
+struct MleOptions {
+  int max_iterations = 500;
+  double convergence_tol = 1e-10;  ///< Frobenius norm of ρ update
+};
+
+struct MleResult {
+  quantum::DensityMatrix rho;
+  int iterations = 0;
+  bool converged = false;
+  double log_likelihood = 0;
+};
+
+/// Maximum-likelihood reconstruction via the iterative RρR algorithm
+/// (Lvovsky 2004), seeded from the projected linear-inversion estimate.
+MleResult maximum_likelihood(const std::vector<SettingCounts>& data,
+                             const MleOptions& opts = {});
+
+}  // namespace qfc::tomo

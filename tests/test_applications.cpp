@@ -1,0 +1,245 @@
+// Tests for the application layer built on top of the comb: QKD link
+// budget, heralded-g² HBT measurement, dispersion analysis, Allan
+// deviation.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qfc/core/comb_source.hpp"
+#include "qfc/core/hbt.hpp"
+#include "qfc/core/qkd.hpp"
+#include "qfc/detect/allan.hpp"
+#include "qfc/photonics/device_presets.hpp"
+#include "qfc/photonics/dispersion.hpp"
+#include "qfc/rng/distributions.hpp"
+#include "qfc/sfwm/phase_matching.hpp"
+
+namespace {
+
+using namespace qfc;
+
+// ------------------------------------------------------------------ QKD
+
+TEST(QkdMath, BinaryEntropy) {
+  EXPECT_NEAR(core::binary_entropy_bits(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(core::binary_entropy_bits(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(core::binary_entropy_bits(0.11), 0.4999, 0.01);
+  EXPECT_THROW(core::binary_entropy_bits(1.5), std::invalid_argument);
+}
+
+TEST(QkdMath, QberAndSecretFraction) {
+  EXPECT_NEAR(core::qber_from_visibility(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(core::qber_from_visibility(0.83), 0.085, 1e-12);
+  // Positive key below QBER ~ 11%, zero above.
+  EXPECT_GT(core::bbm92_secret_fraction(0.05), 0.0);
+  EXPECT_DOUBLE_EQ(core::bbm92_secret_fraction(0.15), 0.0);
+  EXPECT_NEAR(core::bbm92_secret_fraction(0.0), 1.0, 1e-12);
+}
+
+class QkdFixture : public ::testing::Test {
+ protected:
+  QkdFixture()
+      : comb_(core::QuantumFrequencyComb::for_configuration(
+            core::PumpConfiguration::DoublePulse)),
+        exp_(comb_.timebin_default()),
+        link_(exp_) {}
+
+  core::QuantumFrequencyComb comb_;
+  core::TimebinExperiment exp_;
+  core::MultiplexedQkdLink link_;
+};
+
+TEST_F(QkdFixture, ShortLinkDistillsKeyOnAllChannels) {
+  for (const auto& ch : link_.all_channels(10.0)) {
+    EXPECT_TRUE(ch.key_positive) << "k=" << ch.k;
+    EXPECT_LT(ch.qber, 0.11) << "k=" << ch.k;
+    EXPECT_GT(ch.key_rate_bps, 1.0) << "k=" << ch.k;
+  }
+}
+
+TEST_F(QkdFixture, KeyRateDecreasesWithDistance) {
+  double prev = 1e18;
+  for (double km : {1.0, 25.0, 50.0, 100.0}) {
+    const double rate = link_.aggregate_key_rate_bps(km);
+    EXPECT_LT(rate, prev) << km << " km";
+    prev = rate;
+  }
+}
+
+TEST_F(QkdFixture, VisibilityDegradesToCutoff) {
+  const auto near = link_.channel_performance(1, 1.0);
+  const auto far = link_.channel_performance(1, 300.0);
+  EXPECT_GT(near.visibility, far.visibility);
+  EXPECT_FALSE(far.key_positive);  // accidentals dominate at 300 km
+}
+
+TEST_F(QkdFixture, MaxDistanceIsFiniteAndConsistent) {
+  const double dmax = link_.max_distance_km(1);
+  EXPECT_GT(dmax, 20.0);
+  EXPECT_LT(dmax, 500.0);
+  EXPECT_TRUE(link_.channel_performance(1, dmax * 0.95).key_positive);
+  EXPECT_FALSE(link_.channel_performance(1, dmax * 1.05).key_positive);
+}
+
+TEST_F(QkdFixture, MultiplexingAggregatesChannels) {
+  const double agg = link_.aggregate_key_rate_bps(10.0);
+  const double single = link_.channel_performance(1, 10.0).key_rate_bps;
+  EXPECT_GT(agg, 3.0 * single * 0.5);  // ~5 similar channels
+}
+
+// ------------------------------------------------------------------ HBT
+
+TEST(Hbt, LowMuGivesAntibunching) {
+  rng::Xoshiro256 g(21);
+  core::HbtParams p;
+  p.mean_pairs_per_trial = 5e-3;
+  p.trials = 400000;
+  const auto r = core::run_hbt(p, g);
+  EXPECT_GT(r.heralds, 100u);
+  EXPECT_LT(r.g2, 0.1);  // clear single-photon signature
+}
+
+TEST(Hbt, G2MatchesAnalyticTmsv) {
+  rng::Xoshiro256 g(22);
+  core::HbtParams p;
+  p.mean_pairs_per_trial = 0.2;
+  p.dark_probability = 0;
+  p.trials = 500000;
+  const auto r = core::run_hbt(p, g);
+  const double expected = core::analytic_heralded_g2(p);
+  EXPECT_NEAR(r.g2, expected, 0.15 * expected + 3 * r.g2_err);
+}
+
+TEST(Hbt, G2GrowsWithMu) {
+  rng::Xoshiro256 g(23);
+  core::HbtParams lo, hi;
+  lo.mean_pairs_per_trial = 0.02;
+  hi.mean_pairs_per_trial = 0.5;
+  lo.trials = hi.trials = 300000;
+  const auto rlo = core::run_hbt(lo, g);
+  const auto rhi = core::run_hbt(hi, g);
+  EXPECT_GT(rhi.g2, rlo.g2);
+}
+
+TEST(Hbt, DarkCountsRaiseG2Floor) {
+  rng::Xoshiro256 g(24);
+  core::HbtParams clean, noisy;
+  clean.mean_pairs_per_trial = noisy.mean_pairs_per_trial = 1e-3;
+  clean.trials = noisy.trials = 400000;
+  clean.dark_probability = 0;
+  noisy.dark_probability = 1e-3;
+  const auto rc = core::run_hbt(clean, g);
+  const auto rn = core::run_hbt(noisy, g);
+  EXPECT_GE(rn.g2 + 3 * rn.g2_err, rc.g2);
+}
+
+TEST(Hbt, ValidationWorks) {
+  core::HbtParams p;
+  p.trials = 0;
+  rng::Xoshiro256 g(25);
+  EXPECT_THROW(core::run_hbt(p, g), std::invalid_argument);
+}
+
+// ------------------------------------------------------- dispersion
+
+TEST(Dispersion, DintCurvatureEqualsSfwmEnergyMismatch) {
+  // Dint(k) + Dint(−k) is exactly the type-0 SFWM energy mismatch
+  // ν_s + ν_i − 2ν_p — the two modules must agree.
+  const auto ring = photonics::heralded_source_device();
+  const double pump = photonics::pump_resonance_hz(ring);
+  for (int k : {1, 3, 7}) {
+    const double from_dint =
+        photonics::integrated_dispersion_hz(ring, pump, k) +
+        photonics::integrated_dispersion_hz(ring, pump, -k);
+    const double from_pm = sfwm::type0_energy_mismatch_hz(ring, pump, k);
+    EXPECT_NEAR(from_dint, from_pm, 1.0 + 1e-6 * std::abs(from_pm)) << "k=" << k;
+  }
+}
+
+TEST(Dispersion, ProfileIsSmoothAndFitted) {
+  const auto ring = photonics::heralded_source_device();
+  const auto prof = photonics::dispersion_profile(ring, photonics::itu_anchor_hz, 20);
+  ASSERT_EQ(prof.k.size(), 41u);
+  // D2 is the curvature of the resonance grid; for our normal-dispersion
+  // Hydex surrogate it must be nonzero and small vs the FSR.
+  EXPECT_GT(std::abs(prof.d2_hz), 1e3);
+  EXPECT_LT(std::abs(prof.d2_hz), 100e6);
+  // Fit quality: reconstruct Dint at k=10 within 25%.
+  const double recon = prof.d2_hz * 100.0 / 2.0;
+  const double actual =
+      photonics::integrated_dispersion_hz(ring, photonics::itu_anchor_hz, 10);
+  EXPECT_NEAR(recon, actual, 0.35 * std::abs(actual) + 1e4);
+}
+
+TEST(Dispersion, PhaseMatchedCountCoversPaperComb) {
+  // The paper's experiments use at least 5 symmetric channel pairs; the
+  // devices must be phase-matched at least that far.
+  for (const auto& ring :
+       {photonics::heralded_source_device(), photonics::entanglement_device()}) {
+    EXPECT_GE(photonics::phase_matched_pair_count(ring, photonics::itu_anchor_hz, 60),
+              5);
+  }
+}
+
+TEST(Dispersion, HigherQMeansFewerPhaseMatchedChannels) {
+  // Narrower resonances tolerate less dispersion walk-off.
+  const int narrow = photonics::phase_matched_pair_count(
+      photonics::heralded_source_device(), photonics::itu_anchor_hz, 80);
+  const int wide = photonics::phase_matched_pair_count(
+      photonics::entanglement_device(), photonics::itu_anchor_hz, 80);
+  EXPECT_LE(narrow, wide);
+}
+
+// ------------------------------------------------------------ Allan
+
+TEST(Allan, WhiteNoiseSlope) {
+  rng::Xoshiro256 g(31);
+  std::vector<double> samples;
+  for (int i = 0; i < 8192; ++i) samples.push_back(rng::sample_normal(g, 1.0, 0.01));
+  const auto curve = detect::allan_curve(samples, 1.0);
+  ASSERT_GT(curve.size(), 6u);
+  // White noise: sigma(tau) ∝ tau^{-1/2}: each octave divides by sqrt(2).
+  for (std::size_t i = 1; i + 2 < curve.size(); ++i) {
+    const double ratio = curve[i].sigma / curve[i - 1].sigma;
+    EXPECT_NEAR(ratio, 1.0 / std::sqrt(2.0), 0.25) << "octave " << i;
+  }
+}
+
+TEST(Allan, ConstantSeriesGivesZero) {
+  const std::vector<double> flat(100, 3.0);
+  EXPECT_NEAR(detect::allan_deviation(flat, 4), 0.0, 1e-15);
+}
+
+TEST(Allan, DriftDominatesAtLongTau) {
+  // Linear drift: Allan deviation grows ∝ tau at large tau.
+  std::vector<double> drift;
+  for (int i = 0; i < 4096; ++i) drift.push_back(1e-5 * i);
+  const auto curve = detect::allan_curve(drift, 1.0);
+  EXPECT_GT(curve.back().sigma, curve.front().sigma);
+}
+
+TEST(Allan, RejectsBadArguments) {
+  const std::vector<double> s(10, 1.0);
+  EXPECT_THROW(detect::allan_deviation(s, 0), std::invalid_argument);
+  EXPECT_THROW(detect::allan_deviation(s, 5), std::invalid_argument);
+  EXPECT_THROW(detect::allan_curve(s, -1.0), std::invalid_argument);
+}
+
+TEST(Allan, StabilityTraceYieldsFiniteCurve) {
+  auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::SelfLockedCw);
+  core::StabilityConfig cfg;
+  cfg.observation_days = 4.0;
+  auto exp = comb.stability(cfg);
+  const auto cmp = exp.run();
+  const auto curve =
+      detect::allan_curve(cmp.self_locked.relative_rate, cfg.sample_interval_s);
+  ASSERT_GT(curve.size(), 3u);
+  for (const auto& p : curve) {
+    EXPECT_GE(p.sigma, 0.0);
+    EXPECT_LT(p.sigma, 0.1);  // self-locked: percent-level at all tau
+  }
+}
+
+}  // namespace

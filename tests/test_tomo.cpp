@@ -1,0 +1,182 @@
+// Tests for quantum state tomography (S8): settings, projectors, count
+// simulation, linear inversion, maximum likelihood.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qfc/linalg/hermitian_eig.hpp"
+#include "qfc/linalg/matrix_functions.hpp"
+#include "qfc/quantum/bell.hpp"
+#include "qfc/quantum/measures.hpp"
+#include "qfc/tomo/tomography.hpp"
+
+namespace {
+
+using namespace qfc;
+using quantum::bell_phi;
+using quantum::DensityMatrix;
+using quantum::werner_phi;
+
+TEST(Settings, CountAndContent) {
+  const auto s1 = tomo::all_settings(1);
+  ASSERT_EQ(s1.size(), 3u);
+  EXPECT_EQ(s1[0].bases, "X");
+  EXPECT_EQ(s1[2].bases, "Z");
+
+  const auto s2 = tomo::all_settings(2);
+  EXPECT_EQ(s2.size(), 9u);
+  const auto s4 = tomo::all_settings(4);
+  EXPECT_EQ(s4.size(), 81u);
+}
+
+TEST(Projectors, CompleteAndOrthogonal) {
+  const tomo::MeasurementSetting s{"XY"};
+  linalg::CMat sum(4, 4);
+  for (std::size_t o = 0; o < 4; ++o) {
+    const auto p = tomo::outcome_projector(s, o);
+    sum += p;
+    EXPECT_LT((p * p - p).max_abs(), 1e-12);  // idempotent
+  }
+  EXPECT_LT((sum - linalg::CMat::identity(4)).max_abs(), 1e-12);
+  EXPECT_THROW(tomo::outcome_projector(s, 4), std::out_of_range);
+}
+
+TEST(Projectors, ZBasisIsComputational) {
+  const tomo::MeasurementSetting s{"Z"};
+  const auto p0 = tomo::outcome_projector(s, 0);
+  EXPECT_NEAR(std::real(p0(0, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::real(p0(1, 1)), 0.0, 1e-12);
+}
+
+TEST(SimulateCounts, TotalsNearShots) {
+  rng::Xoshiro256 g(1);
+  const DensityMatrix rho{bell_phi()};
+  const auto data = tomo::simulate_counts(rho, 1000.0, {}, g);
+  ASSERT_EQ(data.size(), 9u);
+  for (const auto& d : data)
+    EXPECT_NEAR(static_cast<double>(d.total()), 1000.0, 5 * std::sqrt(1000.0));
+}
+
+TEST(SimulateCounts, ZZOnBellIsCorrelated) {
+  rng::Xoshiro256 g(2);
+  const DensityMatrix rho{bell_phi()};
+  const auto data = tomo::simulate_counts(rho, 4000.0, {}, g);
+  for (const auto& d : data) {
+    if (d.setting.bases != "ZZ") continue;
+    // Outcomes 00 and 11 only.
+    EXPECT_GT(d.counts[0], 1500u);
+    EXPECT_GT(d.counts[3], 1500u);
+    EXPECT_EQ(d.counts[1], 0u);
+    EXPECT_EQ(d.counts[2], 0u);
+  }
+}
+
+TEST(LinearInversion, RecoversBellInNoiselessLimit) {
+  rng::Xoshiro256 g(3);
+  const DensityMatrix rho{bell_phi()};
+  const auto data = tomo::simulate_counts(rho, 2e5, {}, g);
+  const auto est = tomo::linear_inversion(data);
+  EXPECT_LT((est - rho.matrix()).max_abs(), 0.02);
+  EXPECT_NEAR(std::real(est.trace()), 1.0, 1e-9);
+}
+
+TEST(LinearInversion, CanBeNonPhysicalAtLowCounts) {
+  // With few shots the linear estimate often has negative eigenvalues —
+  // the reason MLE exists. (Not guaranteed per-seed, so only check that
+  // the estimate is at least Hermitian/unit-trace and that projecting it
+  // fixes any negativity.)
+  rng::Xoshiro256 g(4);
+  const DensityMatrix rho = werner_phi(0.9);
+  const auto data = tomo::simulate_counts(rho, 30.0, {}, g);
+  const auto est = tomo::linear_inversion(data);
+  EXPECT_TRUE(linalg::is_hermitian(est, 1e-9));
+  EXPECT_NEAR(std::real(est.trace()), 1.0, 1e-9);
+  const auto proj = linalg::project_to_density_matrix(est);
+  const auto evals = linalg::hermitian_eigenvalues(proj);
+  for (double v : evals) EXPECT_GE(v, -1e-9);
+}
+
+TEST(Mle, ReconstructsBellWithHighFidelity) {
+  rng::Xoshiro256 g(5);
+  const DensityMatrix rho{bell_phi()};
+  const auto data = tomo::simulate_counts(rho, 5000.0, {}, g);
+  const auto mle = tomo::maximum_likelihood(data);
+  EXPECT_TRUE(mle.converged);
+  EXPECT_GT(quantum::fidelity(mle.rho, bell_phi()), 0.99);
+}
+
+TEST(Mle, ReconstructsWernerVisibility) {
+  rng::Xoshiro256 g(6);
+  const double v = 0.83;
+  const DensityMatrix rho = werner_phi(v);
+  const auto data = tomo::simulate_counts(rho, 10000.0, {}, g);
+  const auto mle = tomo::maximum_likelihood(data);
+  // Fidelity to the true state should be near 1; to the Bell state near
+  // (1+3V)/4.
+  EXPECT_GT(quantum::fidelity(mle.rho, rho), 0.995);
+  EXPECT_NEAR(quantum::fidelity(mle.rho, bell_phi()), (1 + 3 * v) / 4, 0.02);
+}
+
+TEST(Mle, PhysicalEvenAtVeryLowCounts) {
+  rng::Xoshiro256 g(7);
+  const DensityMatrix rho = werner_phi(0.7);
+  const auto data = tomo::simulate_counts(rho, 20.0, {}, g);
+  const auto mle = tomo::maximum_likelihood(data);
+  const auto evals = linalg::hermitian_eigenvalues(mle.rho.matrix());
+  for (double e : evals) EXPECT_GE(e, -1e-9);
+  EXPECT_NEAR(std::real(mle.rho.matrix().trace()), 1.0, 1e-6);
+}
+
+TEST(Mle, AnalyzerPhaseNoiseLowersFidelity) {
+  rng::Xoshiro256 g1(8), g2(8);
+  const DensityMatrix rho{bell_phi()};
+  const auto clean = tomo::simulate_counts(rho, 3000.0, {}, g1);
+  tomo::NoiseKnobs knobs;
+  knobs.analyzer_phase_rms_rad = 0.5;
+  const auto noisy = tomo::simulate_counts(rho, 3000.0, knobs, g2);
+  const double f_clean =
+      quantum::fidelity(tomo::maximum_likelihood(clean).rho, bell_phi());
+  const double f_noisy =
+      quantum::fidelity(tomo::maximum_likelihood(noisy).rho, bell_phi());
+  EXPECT_GT(f_clean, f_noisy + 0.01);
+}
+
+TEST(Mle, FourQubitProductStateReconstruction) {
+  rng::Xoshiro256 g(9);
+  const DensityMatrix pair = werner_phi(0.9);
+  const DensityMatrix four = pair.tensor(pair);
+  const auto data = tomo::simulate_counts(four, 500.0, {}, g);
+  ASSERT_EQ(data.size(), 81u);
+  const auto mle = tomo::maximum_likelihood(data);
+  EXPECT_GT(quantum::fidelity(mle.rho, four), 0.95);
+}
+
+TEST(Mle, LikelihoodIncreasesVsSeed) {
+  // The RρR fixed point must beat (or match) the projected linear seed.
+  rng::Xoshiro256 g(10);
+  const DensityMatrix rho = werner_phi(0.6);
+  const auto data = tomo::simulate_counts(rho, 200.0, {}, g);
+
+  const auto seed_mat = linalg::project_to_density_matrix(tomo::linear_inversion(data));
+  double ll_seed = 0;
+  for (const auto& d : data)
+    for (std::size_t o = 0; o < d.counts.size(); ++o) {
+      if (d.counts[o] == 0) continue;
+      const auto p = tomo::outcome_projector(d.setting, o);
+      const double prob = std::max(1e-12, std::real((seed_mat * p).trace()));
+      ll_seed += static_cast<double>(d.counts[o]) * std::log(prob);
+    }
+  const auto mle = tomo::maximum_likelihood(data);
+  EXPECT_GE(mle.log_likelihood, ll_seed - 1e-6);
+}
+
+TEST(Tomography, RejectsBadInput) {
+  EXPECT_THROW(tomo::linear_inversion({}), std::invalid_argument);
+  EXPECT_THROW(tomo::all_settings(0), std::invalid_argument);
+  rng::Xoshiro256 g(11);
+  const DensityMatrix rho{bell_phi()};
+  EXPECT_THROW(tomo::simulate_counts(rho, 0.0, {}, g), std::invalid_argument);
+}
+
+}  // namespace
