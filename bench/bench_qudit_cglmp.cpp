@@ -1,0 +1,114 @@
+// EQ1: frequency-bin qudit CGLMP sweep. The comb's symmetric channel pairs
+// carry a d-level entangled state (Kues et al. 2020 review; Maltese et al.
+// 2019 symmetry control); the CGLMP inequality generalizes CHSH with a
+// local bound of 2 for every d. Sweeps d = 2..8 reporting the exact
+// violation, a count-based estimate, the EOM analyzer efficiency, and the
+// wall-clock of CGLMP evaluation plus (for prime d) a full MUB
+// maximum-likelihood reconstruction.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "qfc/photonics/device_presets.hpp"
+#include "qfc/qudit/cglmp.hpp"
+#include "qfc/qudit/freq_bin_source.hpp"
+#include "qfc/qudit/measurement.hpp"
+#include "qfc/qudit/mub.hpp"
+#include "qfc/sfwm/pair_source.hpp"
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace qfc;
+  bench::header("EQ1 bench_qudit_cglmp",
+                "frequency-bin qudits from the comb violate the d-dimensional "
+                "CGLMP inequality (local bound 2) for all d; violation grows "
+                "with d and survives realistic count statistics");
+
+  // Comb-backed source: the entanglement device's CW pair rates set the
+  // unshaped bin amplitudes; procrustean flattening gives |Φ_d⟩.
+  const auto ring = photonics::entanglement_device();
+  photonics::CwPump pump;
+  pump.power_w = 0.01;
+  pump.frequency_hz = photonics::pump_resonance_hz(ring);
+  const sfwm::CwPairSource cw(ring, pump, 8);
+
+  rng::Xoshiro256 g(20260728);
+  std::printf("%4s %10s %12s %16s %10s %12s %12s\n", "d", "I_d exact", "I_d counts",
+              "sigma_above_2", "EOM eff", "CGLMP ms", "MUB MLE ms");
+
+  bool all_violate = true;
+  double prev = 0;
+  bool monotone = true;
+  for (std::size_t d = 2; d <= 8; ++d) {
+    const auto src = qudit::FreqBinSource::from_cw_source(cw, d);
+    const qudit::DDensityMatrix rho(src.flattened_state());
+
+    auto t0 = std::chrono::steady_clock::now();
+    const double exact = qudit::cglmp_value(rho);
+    const double cglmp_ms = ms_since(t0);
+
+    const auto meas = qudit::measure_cglmp(rho, 50000, 2.0, g);
+
+    // Hardware reality check: the Bessel sideband envelope of the EOM
+    // analyzer for a uniform superposition target.
+    const qudit::FreqBinAnalyzer analyzer(d);
+    const double eff =
+        analyzer.projection_efficiency(analyzer.fourier_vector(0, 0.0));
+
+    double mle_ms = -1;
+    if (qudit::is_prime(d)) {
+      t0 = std::chrono::steady_clock::now();
+      const auto data = qudit::simulate_mub_counts(rho, 20000, g);
+      tomo::MleOptions opts;
+      opts.convergence_tol = 1e-6;
+      const auto mle = qudit::mub_maximum_likelihood(data, d, 2, opts);
+      mle_ms = ms_since(t0);
+      if (!mle.converged) std::printf("  (warning: d=%zu MLE did not converge)\n", d);
+    }
+
+    if (mle_ms >= 0)
+      std::printf("%4zu %10.5f %9.3f±%.3f %13.1f %13.3f %12.2f %12.1f\n", d, exact,
+                  meas.i_value, meas.i_err, meas.sigmas_above_classical(), eff,
+                  cglmp_ms, mle_ms);
+    else
+      std::printf("%4zu %10.5f %9.3f±%.3f %13.1f %13.3f %12.2f %12s\n", d, exact,
+                  meas.i_value, meas.i_err, meas.sigmas_above_classical(), eff,
+                  cglmp_ms, "n/a");
+
+    all_violate &= exact > qudit::cglmp_classical_bound() && meas.violates_classical();
+    monotone &= exact > prev;
+    prev = exact;
+  }
+
+  // Ablation: violation vs isotropic-noise visibility at d = 4 — the noise
+  // threshold rises slowly with d (the CGLMP robustness argument).
+  std::printf("\nablation: I_4 vs visibility (classical bound 2)\n");
+  const qudit::DState phi4 = qudit::DState::maximally_entangled(4);
+  for (double v : {1.0, 0.9, 0.8, 0.7, 0.69, 0.6})
+    std::printf("  V = %.2f -> I_4 = %.4f\n", v,
+                qudit::cglmp_value(qudit::isotropic_noise(phi4, v)));
+
+  // Ablation: unshaped (brightness-weighted) vs flattened bins at d = 6.
+  const auto src6 = qudit::FreqBinSource::from_cw_source(cw, 6);
+  std::printf("\nablation: amplitude shaping at d = 6\n");
+  std::printf("  unshaped:  K = %.3f, I_6 = %.4f\n", src6.schmidt_number(),
+              qudit::cglmp_value(qudit::DDensityMatrix(src6.state())));
+  std::printf("  flattened: K = %.3f, I_6 = %.4f (post-selection eff. %.3f)\n",
+              qudit::schmidt_number(src6.flattened_state()),
+              qudit::cglmp_value(qudit::DDensityMatrix(src6.flattened_state())),
+              src6.shaping_efficiency(src6.flattening_mask()));
+
+  bench::verdict(all_violate && monotone,
+                 "CGLMP violated for d = 2..8 with monotone growth; counts agree");
+  return (all_violate && monotone) ? 0 : 1;
+}

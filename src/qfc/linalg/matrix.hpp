@@ -201,6 +201,18 @@ std::vector<T> kron(const std::vector<T>& a, const std::vector<T>& b) {
   return out;
 }
 
+/// Tr(a b) as an elementwise sum — O(n²) instead of the O(n³) matmul;
+/// the hot path of every probability/expectation evaluation.
+template <class T>
+T trace_product(const Mat<T>& a, const Mat<T>& b) {
+  if (a.cols() != b.rows() || a.rows() != b.cols())
+    throw std::invalid_argument("trace_product: shape mismatch");
+  T s{};
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * b(j, i);
+  return s;
+}
+
 /// Inner product <a|b> = sum conj(a_i) b_i (plain dot for real T).
 template <class T>
 T vdot(const std::vector<T>& a, const std::vector<T>& b) {

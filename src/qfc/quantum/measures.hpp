@@ -3,35 +3,67 @@
 /// \file measures.hpp
 /// State metrics: purity, entropy, fidelity, trace distance, concurrence
 /// (two-qubit entanglement), and negativity (PPT criterion).
+///
+/// Each metric comes in two flavors: a matrix-level overload operating on a
+/// raw density matrix / amplitude vector of *any* dimension (shared with the
+/// qudit layer in qfc::qudit), and a convenience overload on the validated
+/// qubit-register types. The matrix-level overloads assume the caller hands
+/// in a valid density matrix (Hermitian, unit trace, PSD); they do not
+/// re-validate.
 
 #include "qfc/quantum/state.hpp"
 
 namespace qfc::quantum {
 
+// ------------------------------------------------------------------------
+// Matrix-level metrics, dimension-agnostic.
+
 /// Tr(ρ²) ∈ [1/d, 1].
-double purity(const DensityMatrix& rho);
+double purity(const linalg::CMat& rho);
 
 /// Von Neumann entropy −Tr(ρ log₂ ρ), in bits.
-double von_neumann_entropy_bits(const DensityMatrix& rho);
+double von_neumann_entropy_bits(const linalg::CMat& rho);
 
 /// Uhlmann fidelity F(ρ, σ) = (Tr √(√ρ σ √ρ))² ∈ [0, 1].
-double fidelity(const DensityMatrix& rho, const DensityMatrix& sigma);
+double fidelity(const linalg::CMat& rho, const linalg::CMat& sigma);
 
-/// Fidelity against a pure target: <ψ|ρ|ψ>.
-double fidelity(const DensityMatrix& rho, const StateVector& target);
+/// Fidelity against a pure target: <ψ|ρ|ψ> (target must be normalized).
+double fidelity(const linalg::CMat& rho, const linalg::CVec& target);
 
 /// Trace distance ½ Tr|ρ − σ|.
+double trace_distance(const linalg::CMat& rho, const linalg::CMat& sigma);
+
+/// Partial transpose over the second factor of a d1 x d2 bipartition
+/// (d1 * d2 must equal the matrix dimension).
+linalg::CMat partial_transpose(const linalg::CMat& rho, std::size_t d1, std::size_t d2);
+
+/// Negativity: sum of |negative eigenvalues| of the partial transpose over
+/// the second factor of a d1 x d2 bipartition.
+double negativity(const linalg::CMat& rho, std::size_t d1, std::size_t d2);
+
+/// Schmidt coefficients (descending, squares sum to 1) of a bipartite pure
+/// state with amplitudes `amps` split as d1 x d2.
+linalg::RVec schmidt_coefficients(const linalg::CVec& amps, std::size_t d1,
+                                  std::size_t d2);
+
+// ------------------------------------------------------------------------
+// Qubit-register convenience overloads.
+
+double purity(const DensityMatrix& rho);
+double von_neumann_entropy_bits(const DensityMatrix& rho);
+double fidelity(const DensityMatrix& rho, const DensityMatrix& sigma);
+double fidelity(const DensityMatrix& rho, const StateVector& target);
 double trace_distance(const DensityMatrix& rho, const DensityMatrix& sigma);
 
 /// Wootters concurrence of a two-qubit state; 0 = separable, 1 = Bell.
 double concurrence(const DensityMatrix& rho);
 
-/// Negativity: sum of |negative eigenvalues| of the partial transpose over
-/// the second subsystem (dims must split as d1 x d2 with d1*d2 = dim).
+/// Negativity with the bipartition placed after the first
+/// `qubits_in_first_subsystem` qubits.
 double negativity(const DensityMatrix& rho, std::size_t qubits_in_first_subsystem);
 
-/// Schmidt coefficients (descending, squared sums to 1) of a bipartite pure
-/// state split after `qubits_in_first_subsystem` qubits.
+/// Schmidt coefficients of a qubit-register pure state split after
+/// `qubits_in_first_subsystem` qubits.
 linalg::RVec schmidt_coefficients(const StateVector& psi,
                                   std::size_t qubits_in_first_subsystem);
 

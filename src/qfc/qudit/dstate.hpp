@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file dstate.hpp
+/// Pure states and density matrices of registers whose particles have
+/// arbitrary (not necessarily equal, not necessarily power-of-two)
+/// dimension — the d-level frequency-bin systems of Kues et al. 2020 /
+/// Maltese et al. 2019. Particle 0 owns the most significant digit of the
+/// mixed-radix computational-basis index, mirroring the qubit convention in
+/// qfc::quantum.
+///
+/// The entanglement measures forward to the matrix-level overloads in
+/// qfc::quantum::measures so no spectral code is duplicated across the
+/// qubit and qudit layers.
+
+#include <cstddef>
+#include <vector>
+
+#include "qfc/linalg/matrix.hpp"
+
+namespace qfc::qudit {
+
+using linalg::cplx;
+using linalg::CMat;
+using linalg::CVec;
+
+/// Per-particle dimensions, most significant digit first.
+using Dims = std::vector<std::size_t>;
+
+/// Product of the per-particle dimensions; validates every entry >= 2 and
+/// caps the total at 4096 (Jacobi eigensolver territory).
+std::size_t total_dim(const Dims& dims);
+
+/// Normalized pure state of a mixed-radix qudit register.
+class DState {
+ public:
+  /// |0...0> with the given per-particle dimensions.
+  explicit DState(Dims dims);
+
+  /// From amplitudes (size must equal the product of dims); normalizes
+  /// unless already normalized, throws on the zero vector.
+  DState(CVec amplitudes, Dims dims);
+
+  /// Two-qudit maximally entangled state (1/√d) Σ_k |k⟩|k⟩.
+  static DState maximally_entangled(std::size_t d);
+
+  /// Two-qudit frequency-bin state Σ_k c_k |k⟩|k⟩ from per-bin pair
+  /// amplitudes (normalized internally; size sets d).
+  static DState from_pair_amplitudes(const CVec& pair_amplitudes);
+
+  const Dims& dims() const noexcept { return dims_; }
+  std::size_t num_particles() const noexcept { return dims_.size(); }
+  std::size_t dim() const noexcept { return amps_.size(); }
+  const CVec& amplitudes() const noexcept { return amps_; }
+  cplx amplitude(std::size_t basis_index) const { return amps_.at(basis_index); }
+
+  /// Tensor product |this> ⊗ |other> (dims are concatenated).
+  DState tensor(const DState& other) const;
+
+  /// <this|other>.
+  cplx overlap(const DState& other) const;
+
+  /// |<this|other>|².
+  double overlap_probability(const DState& other) const;
+
+  /// Apply a unitary on the full register (dim x dim).
+  DState apply(const CMat& u) const;
+
+  /// Apply a d_p x d_p unitary on particle p.
+  DState apply_local(const CMat& u, std::size_t particle) const;
+
+  double probability(std::size_t basis_index) const;
+
+ private:
+  Dims dims_;
+  CVec amps_;
+};
+
+/// Density matrix of a mixed-radix qudit register: Hermitian, unit trace,
+/// PSD (validated).
+class DDensityMatrix {
+ public:
+  /// Maximally mixed state I/dim.
+  explicit DDensityMatrix(Dims dims);
+
+  /// |psi><psi|.
+  explicit DDensityMatrix(const DState& psi);
+
+  /// From a raw matrix; validates shape/Hermiticity/trace; PSD check is
+  /// tolerance-based (small negative eigenvalues allowed up to psd_tol).
+  DDensityMatrix(CMat rho, Dims dims, double psd_tol = 1e-8);
+
+  const Dims& dims() const noexcept { return dims_; }
+  std::size_t num_particles() const noexcept { return dims_.size(); }
+  std::size_t dim() const noexcept { return rho_.rows(); }
+  const CMat& matrix() const noexcept { return rho_; }
+
+  /// Tr(ρ O).
+  cplx expectation(const CMat& observable) const;
+
+  /// Probability Tr(ρ P) of projector P, clipped to [0, 1].
+  double probability(const CMat& projector) const;
+
+  /// ρ ⊗ σ (dims are concatenated).
+  DDensityMatrix tensor(const DDensityMatrix& other) const;
+
+  /// Partial trace keeping the listed particles (strictly ascending).
+  DDensityMatrix partial_trace_keep(const std::vector<std::size_t>& keep) const;
+
+  /// Convex mixture (1−p) ρ + p σ.
+  DDensityMatrix mix(const DDensityMatrix& other, double p) const;
+
+  /// U ρ U†.
+  DDensityMatrix evolve(const CMat& u) const;
+
+ private:
+  /// Unchecked path for internal operations whose results are valid by
+  /// construction (tensor, partial trace, mix, evolve).
+  DDensityMatrix() = default;
+
+  Dims dims_;
+  CMat rho_;
+};
+
+/// Isotropic-noise model V |ψ><ψ| + (1−V) I/dim — the qudit analogue of
+/// quantum::isotropic_noise, the standard noise family for CGLMP studies.
+DDensityMatrix isotropic_noise(const DState& target, double visibility);
+
+// ------------------------------------------------------------------------
+// Entanglement/state metrics: thin forwards to quantum::measures'
+// matrix-level overloads.
+
+double purity(const DDensityMatrix& rho);
+double von_neumann_entropy_bits(const DDensityMatrix& rho);
+double fidelity(const DDensityMatrix& rho, const DDensityMatrix& sigma);
+double fidelity(const DDensityMatrix& rho, const DState& target);
+double trace_distance(const DDensityMatrix& rho, const DDensityMatrix& sigma);
+
+/// Negativity across the bipartition placed after the first
+/// `particles_in_first_subsystem` particles.
+double negativity(const DDensityMatrix& rho, std::size_t particles_in_first_subsystem);
+
+/// Schmidt coefficients of a pure state split after
+/// `particles_in_first_subsystem` particles (descending, squares sum to 1).
+linalg::RVec schmidt_coefficients(const DState& psi,
+                                  std::size_t particles_in_first_subsystem);
+
+/// Schmidt number K = 1/Σ λ⁴ of a bipartite pure state (effective number of
+/// entangled dimensions; d for the maximally entangled qudit pair).
+double schmidt_number(const DState& psi, std::size_t particles_in_first_subsystem = 1);
+
+}  // namespace qfc::qudit

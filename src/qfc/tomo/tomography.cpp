@@ -178,32 +178,25 @@ CMat linear_inversion(const std::vector<SettingCounts>& data) {
   return rho;
 }
 
-MleResult maximum_likelihood(const std::vector<SettingCounts>& data,
-                             const MleOptions& opts) {
-  const std::size_t n = checked_num_qubits(data);
-  const std::size_t dim = std::size_t{1} << n;
-
-  // Pre-build projectors and frequencies.
-  struct Term {
-    CMat proj;
-    double count;
-  };
-  std::vector<Term> terms;
+RrrResult rrr_reconstruct(const std::vector<ProjectorTerm>& terms,
+                          const CMat& seed, const MleOptions& opts) {
+  seed.require_square("rrr_reconstruct");
+  const std::size_t dim = seed.rows();
   double grand_total = 0;
-  for (const auto& d : data) {
-    for (std::size_t o = 0; o < d.counts.size(); ++o) {
-      if (d.counts[o] == 0) continue;
-      terms.push_back(Term{outcome_projector(d.setting, o),
-                           static_cast<double>(d.counts[o])});
-      grand_total += static_cast<double>(d.counts[o]);
-    }
+  for (const auto& t : terms) {
+    if (t.projector.rows() != dim || t.projector.cols() != dim)
+      throw std::invalid_argument("rrr_reconstruct: projector dim mismatch");
+    if (t.count < 0)
+      throw std::invalid_argument(
+          "rrr_reconstruct: negative count (background-subtracted data is not "
+          "valid RρR input)");
+    grand_total += t.count;
   }
-  if (grand_total <= 0) throw std::invalid_argument("maximum_likelihood: no counts");
+  if (grand_total <= 0) throw std::invalid_argument("rrr_reconstruct: no counts");
 
-  // Seed: physical projection of the linear-inversion estimate.
-  CMat rho = linalg::project_to_density_matrix(linear_inversion(data));
-  // Mix in a little identity so no projector starts at exactly zero
-  // probability.
+  // Mix a little identity into the seed so no projector starts at exactly
+  // zero probability.
+  CMat rho = seed;
   {
     CMat eye = CMat::identity(dim);
     eye *= cplx(1e-3 / static_cast<double>(dim), 0);
@@ -211,19 +204,20 @@ MleResult maximum_likelihood(const std::vector<SettingCounts>& data,
     rho += eye;
   }
 
-  MleResult res{quantum::DensityMatrix(n), 0, false, 0};
+  RrrResult res;
   for (int it = 0; it < opts.max_iterations; ++it) {
     CMat r(dim, dim);
     for (const auto& t : terms) {
-      const double p = std::max(1e-12, std::real((rho * t.proj).trace()));
-      CMat scaled = t.proj;
+      if (t.count <= 0) continue;
+      const double p = std::max(1e-12, std::real(trace_product(rho, t.projector)));
+      CMat scaled = t.projector;
       scaled *= cplx(t.count / (grand_total * p), 0);
       r += scaled;
     }
     CMat next = r * rho * r;
     const cplx tr = next.trace();
     if (std::abs(tr) < 1e-300)
-      throw qfc::NumericalError("maximum_likelihood: degenerate iterate");
+      throw qfc::NumericalError("rrr_reconstruct: degenerate iterate");
     next *= cplx(1.0, 0) / tr;
 
     CMat diff = next;
@@ -241,11 +235,33 @@ MleResult maximum_likelihood(const std::vector<SettingCounts>& data,
   rho = linalg::project_to_density_matrix(rho);
   double ll = 0;
   for (const auto& t : terms) {
-    const double p = std::max(1e-300, std::real((rho * t.proj).trace()));
+    if (t.count <= 0) continue;
+    const double p = std::max(1e-300, std::real(trace_product(rho, t.projector)));
     ll += t.count * std::log(p);
   }
   res.log_likelihood = ll;
-  res.rho = quantum::DensityMatrix(rho, 1e-6);
+  res.rho = std::move(rho);
+  return res;
+}
+
+MleResult maximum_likelihood(const std::vector<SettingCounts>& data,
+                             const MleOptions& opts) {
+  checked_num_qubits(data);
+
+  std::vector<ProjectorTerm> terms;
+  for (const auto& d : data)
+    for (std::size_t o = 0; o < d.counts.size(); ++o) {
+      if (d.counts[o] == 0) continue;
+      terms.push_back(ProjectorTerm{outcome_projector(d.setting, o),
+                                    static_cast<double>(d.counts[o])});
+    }
+
+  // Seed: physical projection of the linear-inversion estimate.
+  const CMat seed = linalg::project_to_density_matrix(linear_inversion(data));
+  RrrResult core = rrr_reconstruct(terms, seed, opts);
+
+  MleResult res{quantum::DensityMatrix(std::move(core.rho), 1e-6), core.iterations,
+                core.converged, core.log_likelihood};
   return res;
 }
 

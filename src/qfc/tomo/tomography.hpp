@@ -76,4 +76,28 @@ struct MleResult {
 MleResult maximum_likelihood(const std::vector<SettingCounts>& data,
                              const MleOptions& opts = {});
 
+// ------------------------------------------------------------------------
+// Dimension-agnostic RρR core, shared by the qubit path above and by the
+// frequency-bin qudit MUB tomography in qfc::qudit.
+
+/// One measured projector with its observed count.
+struct ProjectorTerm {
+  linalg::CMat projector;
+  double count = 0;
+};
+
+struct RrrResult {
+  linalg::CMat rho;  ///< physical (Hermitian, unit-trace, PSD) estimate
+  int iterations = 0;
+  bool converged = false;
+  double log_likelihood = 0;
+};
+
+/// Iterative RρR maximum-likelihood reconstruction over an arbitrary list
+/// of projector/count terms in any dimension. `seed` must be a Hermitian
+/// unit-trace matrix of the right dimension (it is mixed with a sliver of
+/// identity internally so no term starts at zero probability).
+RrrResult rrr_reconstruct(const std::vector<ProjectorTerm>& terms,
+                          const linalg::CMat& seed, const MleOptions& opts = {});
+
 }  // namespace qfc::tomo

@@ -211,6 +211,37 @@ TEST(Measures, SchmidtOfProductStateIsRankOne) {
   EXPECT_NEAR(coeffs[1], 0.0, 1e-12);
 }
 
+TEST(Measures, MatrixLevelOverloadsHandleNonPowerOfTwoDims) {
+  // The matrix-level overloads back the qudit layer: a maximally entangled
+  // qutrit pair is a 9x9 density matrix no qubit register can represent.
+  const std::size_t d = 3;
+  CVec amps(d * d, cplx(0, 0));
+  for (std::size_t k = 0; k < d; ++k) amps[k * d + k] = cplx(1, 0);
+  qfc::linalg::vnormalize(amps);
+  const CMat rho = qfc::linalg::outer(amps, amps);
+
+  EXPECT_NEAR(purity(rho), 1.0, 1e-12);
+  EXPECT_NEAR(fidelity(rho, amps), 1.0, 1e-12);
+  EXPECT_NEAR(negativity(rho, d, d), (static_cast<double>(d) - 1) / 2, 1e-9);
+  const auto lambda = schmidt_coefficients(amps, d, d);
+  ASSERT_EQ(lambda.size(), d);
+  for (double l : lambda) EXPECT_NEAR(l, 1.0 / std::sqrt(3.0), 1e-12);
+
+  CMat mixed = CMat::identity(d * d);
+  mixed *= cplx(1.0 / 9.0, 0);
+  EXPECT_NEAR(von_neumann_entropy_bits(mixed), 2 * std::log2(3.0), 1e-9);
+  EXPECT_NEAR(negativity(mixed, d, d), 0.0, 1e-10);
+  EXPECT_NEAR(trace_distance(rho, rho), 0.0, 1e-10);
+  EXPECT_NEAR(fidelity(rho, mixed), 1.0 / 9.0, 1e-9);
+}
+
+TEST(Measures, MatrixLevelValidation) {
+  const CMat rho = CMat::identity(6) * cplx(1.0 / 6.0, 0);
+  EXPECT_THROW(negativity(rho, 4, 2), std::invalid_argument);  // 4*2 != 6
+  EXPECT_THROW(schmidt_coefficients(CVec(6, cplx(1, 0)), 5, 2), std::invalid_argument);
+  EXPECT_NEAR(negativity(rho, 2, 3), 0.0, 1e-10);
+}
+
 TEST(Bell, ProductStateHasPerPairStructure) {
   const StateVector four = bell_product(2);
   EXPECT_EQ(four.num_qubits(), 4u);

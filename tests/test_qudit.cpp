@@ -1,0 +1,450 @@
+// Tests for the frequency-bin qudit subsystem: mixed-radix states, the
+// Weyl/Gell-Mann operator toolbox, the comb-backed FreqBinSource, the
+// EOM + pulse-shaper measurement layer, the CGLMP Bell test (must reduce to
+// CHSH at d = 2), and MUB tomography for prime d.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qfc/photonics/device_presets.hpp"
+#include "qfc/qudit/cglmp.hpp"
+#include "qfc/qudit/dstate.hpp"
+#include "qfc/qudit/freq_bin_source.hpp"
+#include "qfc/qudit/measurement.hpp"
+#include "qfc/qudit/mub.hpp"
+#include "qfc/qudit/operators.hpp"
+#include "qfc/quantum/bell.hpp"
+#include "qfc/quantum/measures.hpp"
+#include "qfc/timebin/chsh.hpp"
+
+namespace {
+
+using qfc::linalg::cplx;
+using qfc::linalg::CMat;
+using qfc::linalg::CVec;
+using namespace qfc::qudit;
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(DState, GroundStateAndValidation) {
+  const DState psi(Dims{3, 4});
+  EXPECT_EQ(psi.dim(), 12u);
+  EXPECT_NEAR(psi.probability(0), 1.0, 1e-15);
+  EXPECT_THROW(DState(Dims{}), std::invalid_argument);
+  EXPECT_THROW(DState(Dims{1, 3}), std::invalid_argument);
+  EXPECT_THROW(DState(CVec(5, cplx(1, 0)), Dims{2, 3}), std::invalid_argument);
+  EXPECT_THROW(DState(CVec(6, cplx(0, 0)), Dims{2, 3}), std::invalid_argument);
+}
+
+TEST(DState, MaximallyEntangledStructure) {
+  const DState phi = DState::maximally_entangled(3);
+  EXPECT_EQ(phi.dim(), 9u);
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_NEAR(phi.probability(k * 3 + k), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(phi.probability(1), 0.0, 1e-15);
+}
+
+TEST(DState, ApplyLocalMatchesFullKron) {
+  // F on particle 0 and X on particle 1 of a random-ish state, applied both
+  // locally and as a full-register kron, must agree.
+  CVec amps(12);
+  for (std::size_t i = 0; i < amps.size(); ++i)
+    amps[i] = cplx(std::sin(1.0 + 0.7 * static_cast<double>(i)),
+                   std::cos(0.3 * static_cast<double>(i)));
+  const DState psi(amps, Dims{3, 4});
+
+  const CMat f3 = fourier_matrix(3);
+  const CMat x4 = shift_operator(4);
+  const DState via_local = psi.apply_local(f3, 0).apply_local(x4, 1);
+  const DState via_full = psi.apply(qfc::linalg::kron(f3, x4));
+  for (std::size_t i = 0; i < psi.dim(); ++i)
+    EXPECT_NEAR(std::abs(via_local.amplitude(i) - via_full.amplitude(i)), 0.0, 1e-12);
+}
+
+TEST(DState, ApplyLocalValidation) {
+  const DState psi(Dims{3, 4});
+  EXPECT_THROW(psi.apply_local(fourier_matrix(3), 1), std::invalid_argument);
+  EXPECT_THROW(psi.apply_local(fourier_matrix(3), 2), std::out_of_range);
+}
+
+TEST(DDensityMatrix, PartialTraceOfEntangledPairIsMixed) {
+  for (std::size_t d : {2u, 3u, 5u}) {
+    const DDensityMatrix rho(DState::maximally_entangled(d));
+    const DDensityMatrix reduced = rho.partial_trace_keep({0});
+    EXPECT_EQ(reduced.dim(), d);
+    EXPECT_NEAR(purity(reduced), 1.0 / static_cast<double>(d), 1e-12);
+  }
+}
+
+TEST(DDensityMatrix, PartialTraceOfProductRecoversFactors) {
+  const DState a(CVec{cplx(0.6, 0), cplx(0, 0.8)}, Dims{2});
+  const DState b(CVec{cplx(1, 0), cplx(1, 0), cplx(1, 0)}, Dims{3});
+  const DDensityMatrix ab = DDensityMatrix(a).tensor(DDensityMatrix(b));
+  EXPECT_LT((ab.partial_trace_keep({0}).matrix() - DDensityMatrix(a).matrix()).max_abs(),
+            1e-12);
+  EXPECT_LT((ab.partial_trace_keep({1}).matrix() - DDensityMatrix(b).matrix()).max_abs(),
+            1e-12);
+}
+
+TEST(DDensityMatrix, MixedRadixPartialTraceMiddleParticle) {
+  const DState psi = DState(Dims{2}).tensor(DState(Dims{3})).tensor(DState(Dims{2}));
+  const DDensityMatrix rho(psi);
+  const DDensityMatrix mid = rho.partial_trace_keep({1});
+  EXPECT_EQ(mid.dim(), 3u);
+  EXPECT_NEAR(std::real(mid.matrix()(0, 0)), 1.0, 1e-12);
+}
+
+// Satellite criterion: the maximally entangled qudit pair carries log₂d
+// ebits of entanglement entropy.
+TEST(Measures, MaxEntangledEntropyIsLog2D) {
+  for (std::size_t d : {2u, 3u, 4u, 5u, 7u}) {
+    const DDensityMatrix rho(DState::maximally_entangled(d));
+    const double e = von_neumann_entropy_bits(rho.partial_trace_keep({1}));
+    EXPECT_NEAR(e, std::log2(static_cast<double>(d)), 1e-9) << "d=" << d;
+  }
+}
+
+TEST(Measures, MaxEntangledNegativityClosedForm) {
+  // N(Φ_d) = (d−1)/2 under the PPT criterion.
+  for (std::size_t d : {2u, 3u, 4u}) {
+    const DDensityMatrix rho(DState::maximally_entangled(d));
+    EXPECT_NEAR(negativity(rho, 1), (static_cast<double>(d) - 1.0) / 2.0, 1e-9);
+  }
+}
+
+TEST(Measures, SchmidtNumberCountsEntangledDimensions) {
+  EXPECT_NEAR(schmidt_number(DState::maximally_entangled(4)), 4.0, 1e-10);
+  const DState product = DState(Dims{3}).tensor(DState(Dims{3}));
+  EXPECT_NEAR(schmidt_number(product), 1.0, 1e-10);
+}
+
+TEST(Measures, QuditForwardsAgreeWithQubitLayer) {
+  // A two-qubit Bell state seen as a d=2 qudit pair must give identical
+  // metrics through both layers (they share the matrix-level code).
+  const qfc::quantum::StateVector bell = qfc::quantum::bell_phi(0.3);
+  const qfc::quantum::DensityMatrix qrho(bell);
+  const DDensityMatrix drho(qrho.matrix(), Dims{2, 2});
+  EXPECT_NEAR(purity(drho), qfc::quantum::purity(qrho), 1e-12);
+  EXPECT_NEAR(negativity(drho, 1), qfc::quantum::negativity(qrho, 1), 1e-12);
+  EXPECT_NEAR(von_neumann_entropy_bits(drho),
+              qfc::quantum::von_neumann_entropy_bits(qrho), 1e-12);
+}
+
+TEST(Operators, WeylAlgebra) {
+  for (std::size_t d : {2u, 3u, 5u}) {
+    const CMat x = shift_operator(d);
+    const CMat z = clock_operator(d);
+    EXPECT_TRUE(qfc::linalg::is_unitary(x));
+    EXPECT_TRUE(qfc::linalg::is_unitary(z));
+    // ZX = ω XZ.
+    const cplx omega(std::cos(2 * kPi / static_cast<double>(d)),
+                     std::sin(2 * kPi / static_cast<double>(d)));
+    EXPECT_LT((z * x - x * z * omega).max_abs(), 1e-12) << "d=" << d;
+    // X^d = Z^d = I.
+    CMat xp = CMat::identity(d), zp = CMat::identity(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      xp = xp * x;
+      zp = zp * z;
+    }
+    EXPECT_LT((xp - CMat::identity(d)).max_abs(), 1e-12);
+    EXPECT_LT((zp - CMat::identity(d)).max_abs(), 1e-12);
+  }
+}
+
+TEST(Operators, WeylOperatorsAreOrthogonalBasis) {
+  const std::size_t d = 3;
+  for (std::size_t a = 0; a < d; ++a)
+    for (std::size_t b = 0; b < d; ++b)
+      for (std::size_t a2 = 0; a2 < d; ++a2)
+        for (std::size_t b2 = 0; b2 < d; ++b2) {
+          const cplx tr =
+              (weyl_operator(d, a, b).adjoint() * weyl_operator(d, a2, b2)).trace();
+          const double expected = (a == a2 && b == b2) ? static_cast<double>(d) : 0.0;
+          EXPECT_NEAR(std::abs(tr), expected, 1e-12);
+        }
+}
+
+TEST(Operators, GellMannBasisProperties) {
+  for (std::size_t d : {2u, 3u, 4u}) {
+    const auto basis = gell_mann_basis(d);
+    ASSERT_EQ(basis.size(), d * d - 1);
+    for (std::size_t a = 0; a < basis.size(); ++a) {
+      EXPECT_TRUE(qfc::linalg::is_hermitian(basis[a]));
+      EXPECT_NEAR(std::abs(basis[a].trace()), 0.0, 1e-12);
+      for (std::size_t b = 0; b < basis.size(); ++b) {
+        const double expected = (a == b) ? 2.0 : 0.0;
+        EXPECT_NEAR(std::real((basis[a] * basis[b]).trace()), expected, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Operators, BlochVectorRoundTrip) {
+  // ρ = I/d + ½ Σ r_a λ_a reconstructs the state from its Bloch vector.
+  const DState psi(CVec{cplx(1, 0), cplx(0, 1), cplx(-0.5, 0.2)}, Dims{3});
+  const CMat rho = DDensityMatrix(psi).matrix();
+  const auto r = bloch_vector(rho);
+  const auto basis = gell_mann_basis(3);
+  CMat rebuilt = qfc::linalg::to_complex(qfc::linalg::RMat::identity(3));
+  rebuilt *= cplx(1.0 / 3.0, 0);
+  for (std::size_t a = 0; a < basis.size(); ++a) {
+    CMat term = basis[a];
+    term *= cplx(r[a], 0);
+    rebuilt += term;
+  }
+  EXPECT_LT((rebuilt - rho).max_abs(), 1e-10);
+}
+
+TEST(FreqBinSource, AmplitudesFollowBrightness) {
+  const qfc::photonics::CombGrid grid(193.1e12, 200e9, 6);
+  const std::vector<double> brightness{4.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  FreqBinConfig cfg;
+  cfg.dimension = 4;
+  const FreqBinSource src(grid, brightness, cfg);
+  const CVec c = src.bin_amplitudes();
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(std::norm(c[0]), 4.0 / 7.0, 1e-12);  // 4/(4+1+1+1)
+  EXPECT_NEAR(std::norm(c[1]), 1.0 / 7.0, 1e-12);
+  const DState psi = src.state();
+  EXPECT_NEAR(psi.probability(0), 4.0 / 7.0, 1e-12);  // |0⟩|0⟩
+  EXPECT_NEAR(psi.probability(5), 1.0 / 7.0, 1e-12);  // |1⟩|1⟩
+}
+
+TEST(FreqBinSource, FlatteningYieldsMaximallyEntangled) {
+  const qfc::photonics::CombGrid grid(193.1e12, 200e9, 5);
+  FreqBinConfig cfg;
+  cfg.dimension = 3;
+  cfg.bin_phase_rad = {0.0, 0.4, -1.1};
+  const FreqBinSource src(grid, {2.0, 1.0, 0.5, 0.1, 0.1}, cfg);
+
+  EXPECT_LT(src.schmidt_number(), 3.0);
+  const DState flat = src.flattened_state();
+  EXPECT_NEAR(flat.overlap_probability(DState::maximally_entangled(3)), 1.0, 1e-12);
+  // Procrustean cost: kept fraction = d * weakest bin probability.
+  const double weakest = 0.5 / 3.5;
+  EXPECT_NEAR(src.shaping_efficiency(src.flattening_mask()), 3 * weakest, 1e-12);
+  EXPECT_NEAR(schmidt_number(flat), 3.0, 1e-10);
+}
+
+TEST(FreqBinSource, FromCwSourceUsesPairRates) {
+  using namespace qfc;
+  const auto ring = photonics::entanglement_device();
+  photonics::CwPump pump;
+  pump.power_w = 0.01;
+  pump.frequency_hz = photonics::pump_resonance_hz(ring);
+  const sfwm::CwPairSource cw(ring, pump, 8);
+  const auto src = FreqBinSource::from_cw_source(cw, 6);
+  EXPECT_EQ(src.dimension(), 6u);
+  // Brightness falls off with k through phase matching, so the state is
+  // entangled but not maximally (1 < K < d).
+  const double k = src.schmidt_number();
+  EXPECT_GT(k, 1.0);
+  EXPECT_LE(k, 6.0);
+  EXPECT_GT(src.entanglement_entropy_bits(), 0.0);
+}
+
+TEST(Analyzer, FourierVectorsAreOrthonormal) {
+  const FreqBinAnalyzer an(5);
+  for (std::size_t k = 0; k < 5; ++k)
+    for (std::size_t l = 0; l < 5; ++l) {
+      const cplx ip = qfc::linalg::vdot(an.fourier_vector(k, 0.37),
+                                        an.fourier_vector(l, 0.37));
+      EXPECT_NEAR(std::abs(ip), k == l ? 1.0 : 0.0, 1e-12);
+    }
+}
+
+TEST(Analyzer, ProjectionEfficiencyFollowsBesselEnvelope) {
+  AnalyzerConfig cfg;
+  cfg.modulation_index = 1.2;
+  cfg.detection_bin = 2;
+  const FreqBinAnalyzer an(5, cfg);
+  // A component sitting on the detection bin passes through the carrier
+  // sideband J₀(m); components n bins away pay J_n(m).
+  CVec single(5, cplx(0, 0));
+  single[2] = cplx(1, 0);
+  const double j0 = 0.6711327442643626;  // J₀(1.2); avoids std::cyl_bessel_j,
+                                         // which libc++ lacks
+  EXPECT_NEAR(an.projection_efficiency(single), j0 * j0, 1e-12);
+  // A uniform superposition reaching distant bins does strictly worse.
+  CVec uniform(5, cplx(1, 0));
+  const double eff = an.projection_efficiency(uniform);
+  EXPECT_GT(eff, 0.0);
+  EXPECT_LT(eff, j0 * j0);
+}
+
+TEST(Analyzer, RealizedProjectorIsNormalized) {
+  const FreqBinAnalyzer an(4);
+  const CVec target = an.fourier_vector(1, 0.0);
+  const CMat p = an.realized_projector(target);
+  EXPECT_NEAR(std::real((p * p).trace()), 1.0, 1e-12);  // rank-1 projector
+}
+
+// Acceptance criterion: CGLMP at d = 2 matches the existing timebin CHSH
+// to 1e-9, across the whole Werner family (both are linear in ρ).
+TEST(Cglmp, ReducesToChshAtD2) {
+  const auto settings = qfc::timebin::optimal_settings_for_phi(0.0);
+  for (double v : {1.0, 0.9, 0.7071, 0.5, 0.2, 0.0}) {
+    const qfc::quantum::DensityMatrix werner = qfc::quantum::werner_phi(v);
+    const double s_chsh = qfc::timebin::chsh_s_value(werner, settings);
+    const DDensityMatrix as_qudit(werner.matrix(), Dims{2, 2});
+    const double i2 = cglmp_value(as_qudit);
+    EXPECT_NEAR(i2, s_chsh, 1e-9) << "V=" << v;
+  }
+  EXPECT_NEAR(cglmp_max_entangled_value(2), 2.0 * std::sqrt(2.0), 1e-9);
+}
+
+// Acceptance criterion: d = 4 maximally entangled state violates the
+// classical CGLMP bound of 2.
+TEST(Cglmp, ViolationGrowsWithDimension) {
+  const double i2 = cglmp_max_entangled_value(2);
+  const double i3 = cglmp_max_entangled_value(3);
+  const double i4 = cglmp_max_entangled_value(4);
+  // Reference values from CGLMP (PRL 88, 040404) Table/text.
+  EXPECT_NEAR(i2, 2.8284271, 1e-6);
+  EXPECT_NEAR(i3, 2.8729340, 1e-6);
+  EXPECT_NEAR(i4, 2.8962432, 1e-6);
+  EXPECT_GT(i3, i2);
+  EXPECT_GT(i4, i3);
+  EXPECT_GT(i4, cglmp_classical_bound());
+
+  // Independent cross-check: the closed-form joint probabilities of the
+  // maximally entangled state, P(m,n) = 1/(2d³ sin²[π((n−m)−(α+β))/d]),
+  // must match the projector-based computation.
+  const std::size_t d = 5;
+  const DDensityMatrix phi(DState::maximally_entangled(d));
+  const auto p = cglmp_joint_probabilities(phi, 0, 0);  // α+β = 1/4
+  for (std::size_t m = 0; m < d; ++m)
+    for (std::size_t n = 0; n < d; ++n) {
+      const double theta =
+          (static_cast<double>(n) - static_cast<double>(m) - 0.25) * kPi /
+          static_cast<double>(d);
+      const double closed =
+          1.0 / (2.0 * std::pow(static_cast<double>(d), 3) *
+                 std::pow(std::sin(theta), 2));
+      EXPECT_NEAR(p[m * d + n], closed, 1e-12);
+    }
+}
+
+TEST(Cglmp, MixedStateLosesViolation) {
+  const DState phi3 = DState::maximally_entangled(3);
+  // I_d is linear in ρ and vanishes on the maximally mixed state.
+  const double i_pure = cglmp_value(DDensityMatrix(phi3));
+  for (double v : {0.8, 0.5, 0.1}) {
+    const double i_noisy = cglmp_value(isotropic_noise(phi3, v));
+    EXPECT_NEAR(i_noisy, v * i_pure, 1e-9);
+  }
+  EXPECT_NEAR(cglmp_value(DDensityMatrix(Dims{3, 3})), 0.0, 1e-12);
+}
+
+TEST(Analyzer, SimulateJointCountsValidation) {
+  qfc::rng::Xoshiro256 g(3);
+  const FreqBinAnalyzer an(3);
+  std::vector<CMat> projs;
+  for (std::size_t k = 0; k < 3; ++k)
+    projs.push_back(FreqBinAnalyzer::ideal_projector(an.fourier_vector(k, 0.0)));
+  const DDensityMatrix pair(DState::maximally_entangled(3));
+  const auto counts = simulate_joint_counts(pair, projs, projs, 1000, 0.0, g);
+  EXPECT_EQ(counts.size(), 9u);
+  // A single qudit is not a pair; negative knobs are rejected.
+  const DDensityMatrix single(Dims{3});
+  EXPECT_THROW(simulate_joint_counts(single, projs, projs, 1000, 0.0, g),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_joint_counts(pair, projs, projs, 0, 0.0, g),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_joint_counts(pair, projs, projs, 1000, -1.0, g),
+               std::invalid_argument);
+}
+
+TEST(Cglmp, CountBasedMeasurementAgreesWithExact) {
+  qfc::rng::Xoshiro256 g(42);
+  const DDensityMatrix rho(DState::maximally_entangled(3));
+  const auto m = measure_cglmp(rho, 200000, 5.0, g);
+  EXPECT_TRUE(m.violates_classical());
+  EXPECT_NEAR(m.i_value, cglmp_max_entangled_value(3), 0.05);
+  EXPECT_GT(m.sigmas_above_classical(), 5.0);
+}
+
+TEST(Cglmp, SchmidtNumberWitnessCertifiesDimension) {
+  EXPECT_EQ(schmidt_number_witness(DDensityMatrix(DState::maximally_entangled(4))), 4u);
+  EXPECT_EQ(schmidt_number_witness(DDensityMatrix(Dims{4, 4})), 1u);
+  // Product state: F = 1/d, certifies only Schmidt number 1.
+  const DState product = DState(Dims{3}).tensor(DState(Dims{3}));
+  EXPECT_EQ(schmidt_number_witness(DDensityMatrix(product)), 1u);
+  // Lightly noisy Φ_4 still certifies the full dimension.
+  EXPECT_EQ(schmidt_number_witness(isotropic_noise(DState::maximally_entangled(4), 0.95)),
+            4u);
+}
+
+TEST(Mub, BasesAreMutuallyUnbiased) {
+  for (std::size_t d : {2u, 3u, 5u, 7u}) {
+    const auto bases = mub_bases(d);
+    ASSERT_EQ(bases.size(), d + 1);
+    const double target = 1.0 / static_cast<double>(d);
+    for (std::size_t b = 0; b < bases.size(); ++b) {
+      EXPECT_TRUE(qfc::linalg::is_unitary(bases[b])) << "d=" << d << " b=" << b;
+      for (std::size_t b2 = b + 1; b2 < bases.size(); ++b2) {
+        const CMat overlap = bases[b].adjoint() * bases[b2];
+        for (std::size_t i = 0; i < d; ++i)
+          for (std::size_t j = 0; j < d; ++j)
+            EXPECT_NEAR(std::norm(overlap(i, j)), target, 1e-10)
+                << "d=" << d << " pair (" << b << "," << b2 << ")";
+      }
+    }
+  }
+}
+
+TEST(Mub, RejectsNonPrime) {
+  EXPECT_THROW(mub_bases(4), std::invalid_argument);
+  EXPECT_THROW(mub_bases(6), std::invalid_argument);
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(31));
+  EXPECT_FALSE(is_prime(33));
+}
+
+TEST(Mub, SingleQuditLinearInversionRoundTrip) {
+  const DState psi(CVec{cplx(0.8, 0), cplx(0, 0.5), cplx(-0.3, 0.1)}, Dims{3});
+  const DDensityMatrix rho(psi);
+  qfc::rng::Xoshiro256 g(7);
+  const auto data = simulate_mub_counts(rho, 2e6, g);
+  ASSERT_EQ(data.size(), 4u);
+  const CMat est = mub_linear_inversion(data, 3, 1);
+  EXPECT_NEAR(std::real(est.trace()), 1.0, 1e-6);
+  EXPECT_LT((est - rho.matrix()).max_abs(), 0.01);
+}
+
+// Satellite criterion: MUB tomography round-trips a random d = 3 state to
+// fidelity > 0.99.
+TEST(Mub, TwoQutritTomographyRoundTrip) {
+  // A "random" (fixed-seed, unstructured) two-qutrit pure state.
+  qfc::rng::Xoshiro256 amp_rng(2026);
+  CVec amps(9);
+  for (auto& a : amps) a = cplx(amp_rng.uniform(-1, 1), amp_rng.uniform(-1, 1));
+  const DState psi(amps, Dims{3, 3});
+  const DDensityMatrix rho(psi);
+
+  qfc::rng::Xoshiro256 g(11);
+  const auto data = simulate_mub_counts(rho, 50000, g);
+  ASSERT_EQ(data.size(), 16u);  // (d+1)² settings
+
+  // RρR converges linearly; 1e-6 on the Frobenius update is far below the
+  // shot-noise floor of 50k-count data and keeps the iteration count sane.
+  qfc::tomo::MleOptions opts;
+  opts.convergence_tol = 1e-6;
+  const auto mle = mub_maximum_likelihood(data, 3, 2, opts);
+  EXPECT_TRUE(mle.converged);
+  EXPECT_GT(fidelity(mle.rho, psi), 0.99);
+}
+
+TEST(Mub, TomographyRecoversEntangledQutritPair) {
+  const DState phi = DState::maximally_entangled(3);
+  qfc::rng::Xoshiro256 g(99);
+  const auto data = simulate_mub_counts(isotropic_noise(phi, 0.9), 50000, g);
+  const auto mle = mub_maximum_likelihood(data, 3, 2);
+  // Reconstruction preserves the entanglement metrics of the true state.
+  EXPECT_NEAR(fidelity(mle.rho, phi), 0.9 + 0.1 / 9.0, 0.02);
+  EXPECT_GT(negativity(mle.rho, 1), 0.5);
+}
+
+}  // namespace

@@ -179,4 +179,22 @@ TEST(Tomography, RejectsBadInput) {
   EXPECT_THROW(tomo::simulate_counts(rho, 0.0, {}, g), std::invalid_argument);
 }
 
+TEST(Tomography, RrrCoreValidatesTerms) {
+  const linalg::CMat seed = linalg::CMat::identity(2) * linalg::cplx(0.5, 0);
+  linalg::CMat p0(2, 2);
+  p0(0, 0) = linalg::cplx(1, 0);
+  // Empty / zero-count data has nothing to reconstruct from.
+  EXPECT_THROW(tomo::rrr_reconstruct({}, seed), std::invalid_argument);
+  // Mis-sized projectors and negative (background-subtracted) counts are
+  // rejected rather than silently mis-normalizing the iteration.
+  EXPECT_THROW(tomo::rrr_reconstruct({{linalg::CMat::identity(3), 10.0}}, seed),
+               std::invalid_argument);
+  EXPECT_THROW(tomo::rrr_reconstruct({{p0, 10.0}, {p0, -1.0}}, seed),
+               std::invalid_argument);
+  // A well-posed single-projector problem converges to that projector.
+  const auto res = tomo::rrr_reconstruct({{p0, 100.0}}, seed);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(std::real(res.rho(0, 0)), 1.0, 1e-6);
+}
+
 }  // namespace
