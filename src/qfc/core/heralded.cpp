@@ -4,7 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "qfc/detect/event_stream.hpp"
 #include "qfc/detect/fit.hpp"
 #include "qfc/photonics/device_presets.hpp"
 
@@ -34,38 +33,39 @@ HeraldedPhotonExperiment::HeraldedPhotonExperiment(photonics::MicroringResonator
     throw std::invalid_argument("HeraldedConfig: need at least one channel pair");
 }
 
-HeraldedPhotonExperiment::ClickStreams HeraldedPhotonExperiment::simulate_streams(
-    double duration_s, std::uint64_t seed_offset) {
-  ClickStreams out;
-  const int n = cfg_.num_channel_pairs;
-  out.signal.resize(static_cast<std::size_t>(n));
-  out.idler.resize(static_cast<std::size_t>(n));
+detect::ChannelPairSpec HeraldedPhotonExperiment::channel_spec(int k) const {
+  const ChannelChain sig_chain = cfg_.channels.chain(k, 0);
+  const ChannelChain idl_chain = cfg_.channels.chain(k, 1);
 
-  rng::Xoshiro256 master(cfg_.seed + seed_offset);
-  for (int k = 1; k <= n; ++k) {
-    rng::Xoshiro256 g = master.fork(static_cast<std::uint64_t>(k));
+  detect::ChannelPairSpec spec;
+  spec.pair_rate_hz = source_.pair_rate_hz(k);
+  spec.linewidth_hz = source_.photon_linewidth_hz();
+  spec.transmission_signal = sig_chain.transmission;
+  spec.transmission_idler = idl_chain.transmission;
+  spec.detector_signal = sig_chain.detector;
+  spec.detector_idler = idl_chain.detector;
+  return spec;
+}
 
-    const ChannelChain sig_chain = cfg_.channels.chain(k, 0);
-    const ChannelChain idl_chain = cfg_.channels.chain(k, 1);
+detect::EngineResult HeraldedPhotonExperiment::simulate_events(
+    double duration_s, std::uint64_t seed) const {
+  std::vector<detect::ChannelPairSpec> specs;
+  specs.reserve(static_cast<std::size_t>(cfg_.num_channel_pairs));
+  for (int k = 1; k <= cfg_.num_channel_pairs; ++k) specs.push_back(channel_spec(k));
 
-    detect::PairStreamParams p;
-    p.pair_rate_hz = source_.pair_rate_hz(k);
-    p.linewidth_hz = source_.photon_linewidth_hz();
-    p.duration_s = duration_s;
-    p.transmission_a = sig_chain.transmission;
-    p.transmission_b = idl_chain.transmission;
-    const detect::PairStreams photons = detect::generate_pair_arrivals(p, g);
-
-    const detect::SinglePhotonDetector det_s(sig_chain.detector);
-    const detect::SinglePhotonDetector det_i(idl_chain.detector);
-    out.signal[static_cast<std::size_t>(k - 1)] = det_s.detect(photons.a, duration_s, g);
-    out.idler[static_cast<std::size_t>(k - 1)] = det_i.detect(photons.b, duration_s, g);
-  }
-  return out;
+  detect::EngineConfig ec;
+  ec.duration_s = duration_s;
+  ec.seed = seed;
+  ec.num_threads = cfg_.engine_threads;
+  return detect::EventEngine(ec).run(specs);
 }
 
 std::vector<MatrixCell> HeraldedPhotonExperiment::run_coincidence_matrix() {
-  const ClickStreams streams = simulate_streams(cfg_.duration_s, /*seed_offset=*/1);
+  const detect::EngineResult events = simulate_events(cfg_.duration_s, cfg_.seed + 1);
+  const detect::CarMatrix matrix =
+      detect::car_matrix(events.signal, events.idler, cfg_.coincidence_window_s,
+                         cfg_.side_window_spacing_s);
+
   std::vector<MatrixCell> cells;
   const int n = cfg_.num_channel_pairs;
   cells.reserve(static_cast<std::size_t>(n * n));
@@ -74,10 +74,8 @@ std::vector<MatrixCell> HeraldedPhotonExperiment::run_coincidence_matrix() {
       MatrixCell cell;
       cell.signal_k = si;
       cell.idler_k = ii;
-      cell.car = detect::measure_car(streams.signal[static_cast<std::size_t>(si - 1)],
-                                     streams.idler[static_cast<std::size_t>(ii - 1)],
-                                     cfg_.coincidence_window_s,
-                                     cfg_.side_window_spacing_s);
+      cell.car = matrix.at(static_cast<std::size_t>(si - 1),
+                           static_cast<std::size_t>(ii - 1));
       cells.push_back(cell);
     }
   }
@@ -85,14 +83,16 @@ std::vector<MatrixCell> HeraldedPhotonExperiment::run_coincidence_matrix() {
 }
 
 std::vector<ChannelResult> HeraldedPhotonExperiment::run_channel_table() {
-  const ClickStreams streams = simulate_streams(cfg_.duration_s, /*seed_offset=*/2);
+  const detect::EngineResult events = simulate_events(cfg_.duration_s, cfg_.seed + 2);
+  const detect::CarMatrix matrix =
+      detect::car_matrix(events.signal, events.idler, cfg_.coincidence_window_s,
+                         cfg_.side_window_spacing_s);
+
   std::vector<ChannelResult> out;
   const int n = cfg_.num_channel_pairs;
   for (int k = 1; k <= n; ++k) {
-    const auto& s = streams.signal[static_cast<std::size_t>(k - 1)];
-    const auto& i = streams.idler[static_cast<std::size_t>(k - 1)];
-    const detect::CarResult car = detect::measure_car(
-        s, i, cfg_.coincidence_window_s, cfg_.side_window_spacing_s);
+    const auto c = static_cast<std::size_t>(k - 1);
+    const detect::CarResult car = matrix.at(c, c);
 
     ChannelResult r;
     r.k = k;
@@ -101,8 +101,10 @@ std::vector<ChannelResult> HeraldedPhotonExperiment::run_channel_table() {
         std::max(0.0, car.coincidences - car.accidentals) / cfg_.duration_s;
     r.car = car.car;
     r.car_err = car.car_err;
-    r.singles_signal_hz = static_cast<double>(s.size()) / cfg_.duration_s;
-    r.singles_idler_hz = static_cast<double>(i.size()) / cfg_.duration_s;
+    r.singles_signal_hz =
+        static_cast<double>(events.signal.channel_size(c)) / cfg_.duration_s;
+    r.singles_idler_hz =
+        static_cast<double>(events.idler.channel_size(c)) / cfg_.duration_s;
     out.push_back(r);
   }
   return out;
@@ -115,26 +117,17 @@ CoherenceResult HeraldedPhotonExperiment::run_coherence_measurement(int k,
   if (k < 1 || k > cfg_.num_channel_pairs)
     throw std::out_of_range("run_coherence_measurement: bad channel");
 
-  // Dedicated long acquisition for the time-resolved histogram.
-  rng::Xoshiro256 g(cfg_.seed + 1000 + static_cast<std::uint64_t>(k));
-  const ChannelChain sig_chain = cfg_.channels.chain(k, 0);
-  const ChannelChain idl_chain = cfg_.channels.chain(k, 1);
-
-  detect::PairStreamParams p;
-  p.pair_rate_hz = source_.pair_rate_hz(k);
-  p.linewidth_hz = source_.photon_linewidth_hz();
-  p.duration_s = duration_s;
-  p.transmission_a = sig_chain.transmission;
-  p.transmission_b = idl_chain.transmission;
-  const detect::PairStreams photons = detect::generate_pair_arrivals(p, g);
-
-  const detect::SinglePhotonDetector det_s(sig_chain.detector);
-  const detect::SinglePhotonDetector det_i(idl_chain.detector);
-  const auto clicks_s = det_s.detect(photons.a, duration_s, g);
-  const auto clicks_i = det_i.detect(photons.b, duration_s, g);
+  // Dedicated long acquisition for the time-resolved histogram: the same
+  // spec + engine path as the multi-channel runs, restricted to channel k.
+  detect::EngineConfig ec;
+  ec.duration_s = duration_s;
+  ec.seed = cfg_.seed + 1000 + static_cast<std::uint64_t>(k);
+  ec.num_threads = cfg_.engine_threads;
+  const detect::EngineResult events = detect::EventEngine(ec).run({channel_spec(k)});
 
   CoherenceResult res;
-  res.histogram = detect::correlate(clicks_s, clicks_i, hist_bin_s, hist_range_s);
+  res.histogram =
+      detect::correlate_all(events.signal, events.idler, hist_bin_s, hist_range_s)[0];
   res.ring_linewidth_hz = source_.photon_linewidth_hz();
 
   // Background-subtract the flat accidental floor (median of the outermost
@@ -165,8 +158,8 @@ CoherenceResult HeraldedPhotonExperiment::run_coherence_measurement(int k,
   const detect::ExponentialFit fit = detect::fit_two_sided_exponential(t, y);
   res.fitted_tau_s = fit.tau_s;
   res.measured_linewidth_hz = detect::linewidth_from_decay_time(fit.tau_s);
-  const double tau_corr =
-      detect::deconvolve_jitter(fit.tau_s, sig_chain.detector.jitter_sigma_s);
+  const double jitter = cfg_.channels.chain(k, 0).detector.jitter_sigma_s;
+  const double tau_corr = detect::deconvolve_jitter(fit.tau_s, jitter);
   res.deconvolved_linewidth_hz = detect::linewidth_from_decay_time(tau_corr);
   return res;
 }

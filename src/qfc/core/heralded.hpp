@@ -10,6 +10,7 @@
 
 #include "qfc/core/channel_model.hpp"
 #include "qfc/detect/coincidence.hpp"
+#include "qfc/detect/event_engine.hpp"
 #include "qfc/photonics/microring.hpp"
 #include "qfc/photonics/pump.hpp"
 #include "qfc/sfwm/pair_source.hpp"
@@ -24,6 +25,9 @@ struct HeraldedConfig {
   double side_window_spacing_s = 100e-9;
   ChannelModel channels{};
   std::uint64_t seed = 20170327;     ///< DATE'17 conference date
+  /// Worker threads for the batched event engine (0 = hardware
+  /// concurrency). Results are bitwise independent of this value.
+  int engine_threads = 0;
 };
 
 /// One (signal channel, idler channel) cell of the frequency matrix.
@@ -73,11 +77,11 @@ class HeraldedPhotonExperiment {
                                             double hist_range_s = 25e-9);
 
  private:
-  struct ClickStreams {
-    std::vector<std::vector<double>> signal;  ///< [k-1] -> click times
-    std::vector<std::vector<double>> idler;
-  };
-  ClickStreams simulate_streams(double duration_s, std::uint64_t seed_offset);
+  /// Engine spec for channel pair k: pair rate and linewidth from the
+  /// SFWM source, transmission and detector from the collection chain.
+  detect::ChannelPairSpec channel_spec(int k) const;
+  /// All configured channel pairs through the batched event engine.
+  detect::EngineResult simulate_events(double duration_s, std::uint64_t seed) const;
 
   photonics::MicroringResonator device_;
   HeraldedConfig cfg_;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "qfc/core/timebin_experiment.hpp"
+#include "qfc/detect/event_engine.hpp"
 #include "qfc/fiber/fiber_channel.hpp"
 
 namespace qfc::core {
@@ -64,6 +65,24 @@ class MultiplexedQkdLink {
   /// Largest distance (km, coarse bisection) at which channel k still
   /// yields a positive key rate.
   double max_distance_km(int k, double upper_bound_km = 500.0) const;
+
+  /// One channel of the Monte-Carlo link check (see
+  /// monte_carlo_stream_check).
+  struct StreamCheck {
+    int k = 0;
+    double measured_coincidence_rate_hz = 0;  ///< accidental-subtracted
+    double measured_accidental_rate_hz = 0;   ///< per peak-equivalent window
+    detect::CarResult car;
+  };
+
+  /// Monte-Carlo cross-check of the analytic link budget: batched
+  /// EventEngine streams for every channel pair with the fiber arm
+  /// transmission folded into each arm and the configured dark rate on
+  /// each detector, all CARs measured in one merge-sweep. Validates the
+  /// accidental floor the analytic channel_performance assumes.
+  std::vector<StreamCheck> monte_carlo_stream_check(double distance_km,
+                                                    double duration_s,
+                                                    std::uint64_t seed = 1176) const;
 
  private:
   const TimebinExperiment* experiment_;

@@ -80,6 +80,37 @@ StabilityTrace StabilityExperiment::run_scheme(photonics::PumpLocking locking,
   return trace;
 }
 
+CountedStabilityTrace StabilityExperiment::run_counted_scheme(
+    photonics::PumpLocking locking, double mean_coincidence_rate_hz) {
+  if (mean_coincidence_rate_hz <= 0)
+    throw std::invalid_argument("run_counted_scheme: mean rate <= 0");
+
+  CountedStabilityTrace out;
+  out.trace = run_scheme(locking, locking == photonics::PumpLocking::SelfLocked
+                                      ? cfg_.seed
+                                      : cfg_.seed + 1);
+
+  rng::Xoshiro256 g(cfg_.seed + 77);
+  const double counts_per_interval = mean_coincidence_rate_hz * cfg_.sample_interval_s;
+  out.counts.reserve(out.trace.relative_rate.size());
+  double sum = 0;
+  for (const double rate : out.trace.relative_rate) {
+    const auto c = rng::sample_poisson(g, counts_per_interval * rate);
+    out.counts.push_back(static_cast<double>(c));
+    sum += static_cast<double>(c);
+  }
+  if (out.counts.empty()) return out;
+  out.mean_counts = sum / static_cast<double>(out.counts.size());
+
+  if (out.mean_counts > 0) {
+    std::vector<double> fractional;
+    fractional.reserve(out.counts.size());
+    for (const double c : out.counts) fractional.push_back(c / out.mean_counts);
+    out.allan = detect::allan_curve(fractional, cfg_.sample_interval_s);
+  }
+  return out;
+}
+
 StabilityComparison StabilityExperiment::run() {
   StabilityComparison cmp;
   cmp.self_locked = run_scheme(photonics::PumpLocking::SelfLocked, cfg_.seed);

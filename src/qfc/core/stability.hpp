@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "qfc/detect/allan.hpp"
 #include "qfc/photonics/microring.hpp"
 #include "qfc/photonics/pump.hpp"
 #include "qfc/photonics/self_locked.hpp"
@@ -44,12 +45,30 @@ struct StabilityComparison {
   StabilityTrace external;
 };
 
+/// Counting-statistics form of a stability run: Poisson-sampled detected
+/// pair counts per sample interval on top of the drifting relative rate,
+/// plus the overlapping Allan deviation of the fractional count series —
+/// the metrology-grade statement of the "< 5% for weeks" claim.
+struct CountedStabilityTrace {
+  StabilityTrace trace;                   ///< underlying relative-rate series
+  std::vector<double> counts;             ///< detected pairs per interval
+  std::vector<detect::AllanPoint> allan;  ///< of counts / mean(counts)
+  double mean_counts = 0;
+};
+
 class StabilityExperiment {
  public:
   StabilityExperiment(photonics::MicroringResonator device, StabilityConfig cfg);
 
   /// Run both schemes over the configured observation window.
   StabilityComparison run();
+
+  /// Counting-statistics run of one scheme: the scheme's relative-rate
+  /// trace drives a Poisson count per sample interval at the given mean
+  /// on-resonance coincidence rate, and the fractional counts go through
+  /// the overlapping Allan deviation.
+  CountedStabilityTrace run_counted_scheme(photonics::PumpLocking locking,
+                                           double mean_coincidence_rate_hz);
 
   /// Pair rate relative to on-resonance for a given pump-resonance
   /// detuning: SFWM needs the pump resonant, so the rate follows the

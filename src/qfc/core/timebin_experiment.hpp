@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "qfc/detect/event_engine.hpp"
 #include "qfc/detect/fit.hpp"
 #include "qfc/photonics/microring.hpp"
 #include "qfc/photonics/pump.hpp"
@@ -67,6 +68,20 @@ class TimebinExperiment {
 
   /// Detected post-selected coincidences per second on channel k.
   double detected_coincidence_rate_hz(int k) const;
+
+  /// CW-equivalent engine spec for channel pair k: pair rate = both-bin
+  /// emission rate, linewidth from the ring, per-arm detection efficiency
+  /// as the detector efficiency, unit channel transmission. Shared by
+  /// run_car_check and MultiplexedQkdLink::monte_carlo_stream_check.
+  detect::ChannelPairSpec cw_equivalent_spec(int k, double dark_rate_hz) const;
+
+  /// Engine-backed Monte-Carlo cross-check of the coincidence statistics
+  /// behind the analytic fringe model: CW-equivalent click streams for all
+  /// channel pairs generated in one batched pass, with each channel's CAR
+  /// measured in a single merge-sweep.
+  std::vector<detect::CarResult> run_car_check(double duration_s,
+                                               double dark_rate_hz = 1000.0,
+                                               double window_s = 4e-9) const;
 
  private:
   photonics::MicroringResonator device_;

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "qfc/detect/event_stream.hpp"
+#include "qfc/detect/event_engine.hpp"
 #include "qfc/photonics/device_presets.hpp"
 
 namespace qfc::core {
@@ -37,31 +37,32 @@ Type2CarResult Type2Experiment::measure_at(double total_power_w,
                                            std::uint64_t seed_offset) {
   const sfwm::Type2PairSource src =
       make_source(device_, total_power_w, cfg_.num_channel_pairs, eff_);
-  rng::Xoshiro256 g(cfg_.seed + seed_offset);
 
   // Channel pair k = 1 through the polarizing beam splitter.
   const ChannelChain te_chain = cfg_.channels.chain(1, 0);
   const ChannelChain tm_chain = cfg_.channels.chain(1, 1);
   const double leakage = std::pow(10.0, -cfg_.pbs_extinction_db / 10.0);
 
-  detect::PairStreamParams p;
-  p.pair_rate_hz = src.pair_rate_hz(1);
-  p.linewidth_hz = src.photon_linewidth_hz();
-  p.duration_s = cfg_.duration_s;
-  p.transmission_a = te_chain.transmission * (1.0 - leakage);
-  p.transmission_b = tm_chain.transmission * (1.0 - leakage);
-  const detect::PairStreams photons = detect::generate_pair_arrivals(p, g);
+  detect::ChannelPairSpec spec;
+  spec.pair_rate_hz = src.pair_rate_hz(1);
+  spec.linewidth_hz = src.photon_linewidth_hz();
+  spec.transmission_signal = te_chain.transmission * (1.0 - leakage);
+  spec.transmission_idler = tm_chain.transmission * (1.0 - leakage);
+  spec.detector_signal = te_chain.detector;
+  spec.detector_idler = tm_chain.detector;
 
-  const detect::SinglePhotonDetector det_a(te_chain.detector);
-  const detect::SinglePhotonDetector det_b(tm_chain.detector);
-  const auto clicks_a = det_a.detect(photons.a, cfg_.duration_s, g);
-  const auto clicks_b = det_b.detect(photons.b, cfg_.duration_s, g);
+  detect::EngineConfig ec;
+  ec.duration_s = cfg_.duration_s;
+  ec.seed = cfg_.seed + seed_offset;
+  const detect::EngineResult events = detect::EventEngine(ec).run({spec});
+  const detect::CarMatrix matrix =
+      detect::car_matrix(events.signal, events.idler, cfg_.coincidence_window_s,
+                         cfg_.side_window_spacing_s);
 
   Type2CarResult r;
   r.pump_power_w = total_power_w;
   r.pair_rate_on_chip_hz = src.pair_rate_hz(1);
-  r.car = detect::measure_car(clicks_a, clicks_b, cfg_.coincidence_window_s,
-                              cfg_.side_window_spacing_s);
+  r.car = matrix.at(0, 0);
   r.coincidence_rate_hz =
       std::max(0.0, r.car.coincidences - r.car.accidentals) / cfg_.duration_s;
   return r;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "qfc/detect/event_stream.hpp"
 #include "qfc/rng/distributions.hpp"
 
 namespace qfc::detect {
@@ -36,16 +37,20 @@ std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arri
     if (jittered >= 0 && jittered < duration_s) clicks.push_back(jittered);
   }
 
-  // Dark / background clicks: homogeneous Poisson process.
-  if (params_.dark_rate_hz > 0) {
-    double t = rng::sample_exponential(g, params_.dark_rate_hz);
-    while (t < duration_s) {
-      clicks.push_back(t);
-      t += rng::sample_exponential(g, params_.dark_rate_hz);
-    }
-  }
+  // Photon clicks are nearly sorted already (jitter is tiny vs typical
+  // arrival spacing), so the is_sorted probe usually skips the sort.
+  if (!std::is_sorted(clicks.begin(), clicks.end()))
+    std::sort(clicks.begin(), clicks.end());
 
-  std::sort(clicks.begin(), clicks.end());
+  // Dark / background clicks: homogeneous Poisson process, generated in
+  // time order, so a linear merge replaces concatenate-and-resort.
+  if (params_.dark_rate_hz > 0) {
+    const auto darks = generate_poisson_arrivals(params_.dark_rate_hz, duration_s, g);
+    std::vector<double> merged(clicks.size() + darks.size());
+    std::merge(clicks.begin(), clicks.end(), darks.begin(), darks.end(),
+               merged.begin());
+    clicks.swap(merged);
+  }
 
   // Dead time: drop clicks closer than dead_time_s to the previous kept one.
   if (params_.dead_time_s > 0 && !clicks.empty()) {

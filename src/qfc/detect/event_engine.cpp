@@ -1,0 +1,389 @@
+#include "qfc/detect/event_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "qfc/detect/event_stream.hpp"
+#include "qfc/rng/xoshiro.hpp"
+
+namespace qfc::detect {
+
+// ---------------------------------------------------------------- EventTable
+
+std::size_t EventTable::channel_size(std::size_t c) const {
+  if (c + 1 >= offsets.size()) throw std::out_of_range("EventTable: bad channel");
+  return offsets[c + 1] - offsets[c];
+}
+
+const double* EventTable::channel_begin(std::size_t c) const {
+  if (c + 1 >= offsets.size()) throw std::out_of_range("EventTable: bad channel");
+  return time_s.data() + offsets[c];
+}
+
+const double* EventTable::channel_end(std::size_t c) const {
+  if (c + 1 >= offsets.size()) throw std::out_of_range("EventTable: bad channel");
+  return time_s.data() + offsets[c + 1];
+}
+
+std::vector<double> EventTable::channel_clicks(std::size_t c) const {
+  return std::vector<double>(channel_begin(c), channel_end(c));
+}
+
+EventTable EventTable::from_columns(std::vector<std::vector<double>> per_channel) {
+  EventTable t;
+  std::size_t total = 0;
+  for (const auto& col : per_channel) {
+    if (!std::is_sorted(col.begin(), col.end()))
+      throw std::invalid_argument("EventTable::from_columns: unsorted channel column");
+    total += col.size();
+  }
+  t.time_s.reserve(total);
+  t.channel.reserve(total);
+  t.offsets.reserve(per_channel.size() + 1);
+  t.offsets.push_back(0);
+  for (std::size_t c = 0; c < per_channel.size(); ++c) {
+    t.time_s.insert(t.time_s.end(), per_channel[c].begin(), per_channel[c].end());
+    t.channel.insert(t.channel.end(), per_channel[c].size(),
+                     static_cast<std::uint32_t>(c));
+    t.offsets.push_back(t.time_s.size());
+  }
+  return t;
+}
+
+// --------------------------------------------------------------- EventEngine
+
+EventEngine::EventEngine(EngineConfig cfg) : cfg_(cfg) {
+  if (cfg_.duration_s <= 0)
+    throw std::invalid_argument("EngineConfig: duration <= 0");
+  if (cfg_.num_threads < 0)
+    throw std::invalid_argument("EngineConfig: negative thread count");
+}
+
+EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) const {
+  const std::size_t n = channels.size();
+
+  // Validate and pre-fork everything serially, in channel order, so the
+  // parallel section below is schedule-independent: channel c's results
+  // depend only on gens[c], never on which thread ran it or when.
+  std::vector<PairStreamParams> params(n);
+  std::vector<SinglePhotonDetector> det_s, det_i;
+  det_s.reserve(n);
+  det_i.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const ChannelPairSpec& spec = channels[c];
+    if (spec.background_rate_signal_hz < 0 || spec.background_rate_idler_hz < 0)
+      throw std::invalid_argument("ChannelPairSpec: negative background rate");
+    params[c].pair_rate_hz = spec.pair_rate_hz;
+    params[c].linewidth_hz = spec.linewidth_hz;
+    params[c].duration_s = cfg_.duration_s;
+    params[c].transmission_a = spec.transmission_signal;
+    params[c].transmission_b = spec.transmission_idler;
+    params[c].validate();
+    det_s.emplace_back(spec.detector_signal);
+    det_i.emplace_back(spec.detector_idler);
+  }
+
+  rng::Xoshiro256 master(cfg_.seed);
+  std::vector<rng::Xoshiro256> gens;
+  gens.reserve(n);
+  for (std::size_t c = 0; c < n; ++c)
+    gens.push_back(master.fork(static_cast<std::uint64_t>(c + 1)));
+
+  std::vector<std::vector<double>> sig_cols(n), idl_cols(n);
+
+  const auto process_channel = [&](std::size_t c) {
+    rng::Xoshiro256& g = gens[c];
+    const ChannelPairSpec& spec = channels[c];
+    PairStreams photons = generate_pair_arrivals(params[c], g);
+
+    // Both the pair arrivals and the background stream are sorted, so a
+    // linear merge suffices (same pattern as the detector's dark pass).
+    const auto inject = [&](std::vector<double>& arm, double rate_hz) {
+      if (rate_hz <= 0) return;
+      const auto bg = generate_poisson_arrivals(rate_hz, cfg_.duration_s, g);
+      std::vector<double> merged(arm.size() + bg.size());
+      std::merge(arm.begin(), arm.end(), bg.begin(), bg.end(), merged.begin());
+      arm.swap(merged);
+    };
+    inject(photons.a, spec.background_rate_signal_hz);
+    inject(photons.b, spec.background_rate_idler_hz);
+
+    sig_cols[c] = det_s[c].detect(photons.a, cfg_.duration_s, g);
+    idl_cols[c] = det_i[c].detect(photons.b, cfg_.duration_s, g);
+  };
+
+  unsigned num_threads = cfg_.num_threads > 0
+                             ? static_cast<unsigned>(cfg_.num_threads)
+                             : std::max(1u, std::thread::hardware_concurrency());
+  num_threads = static_cast<unsigned>(
+      std::min<std::size_t>(num_threads, std::max<std::size_t>(n, 1)));
+
+  if (num_threads <= 1) {
+    for (std::size_t c = 0; c < n; ++c) process_channel(c);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::atomic<bool> failed{false};
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads);
+    for (unsigned t = 0; t < num_threads; ++t) {
+      pool.emplace_back([&] {
+        try {
+          for (std::size_t c = next.fetch_add(1); c < n; c = next.fetch_add(1))
+            process_channel(c);
+        } catch (...) {
+          if (!failed.exchange(true)) error = std::current_exception();
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  EngineResult result;
+  result.signal = EventTable::from_columns(std::move(sig_cols));
+  result.idler = EventTable::from_columns(std::move(idl_cols));
+  return result;
+}
+
+// ----------------------------------------------------------- batched analysis
+
+namespace {
+
+/// Time-ordered view over all channels of a table: one (time, channel)
+/// sequence merged across the per-channel columns.
+struct MergedView {
+  std::vector<double> t;
+  std::vector<std::uint32_t> ch;
+};
+
+MergedView merge_channels(const EventTable& table) {
+  MergedView m;
+  const std::size_t n = table.size();
+  m.t.reserve(n);
+  m.ch.reserve(n);
+  const std::size_t num_ch = table.num_channels();
+  if (num_ch == 1) {
+    m.t = table.time_s;
+    m.ch = table.channel;
+    return m;
+  }
+
+  // Bottom-up pairwise merge of the already-sorted channel columns:
+  // ceil(log2 C) sequential passes over the data, far more cache-friendly
+  // than a per-event heap. Ties take the left (lower-id) channel first.
+  m.t = table.time_s;
+  m.ch = table.channel;
+  std::vector<std::size_t> bounds = table.offsets;
+  std::vector<double> tb(n);
+  std::vector<std::uint32_t> cb(n);
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next_bounds;
+    next_bounds.reserve(bounds.size() / 2 + 2);
+    next_bounds.push_back(0);
+    std::size_t s = 0;
+    for (; s + 2 < bounds.size(); s += 2) {
+      std::size_t i = bounds[s], j = bounds[s + 1], o = bounds[s];
+      const std::size_t iend = bounds[s + 1], jend = bounds[s + 2];
+      while (i < iend && j < jend) {
+        // Branchless select: the interleave of independent Poisson streams
+        // is a coin flip per element, the worst case for a branchy merge.
+        const bool take_j = m.t[j] < m.t[i];
+        tb[o] = take_j ? m.t[j] : m.t[i];
+        cb[o] = take_j ? m.ch[j] : m.ch[i];
+        j += take_j;
+        i += 1 - static_cast<std::size_t>(take_j);
+        ++o;
+      }
+      for (; i < iend; ++i, ++o) {
+        tb[o] = m.t[i];
+        cb[o] = m.ch[i];
+      }
+      for (; j < jend; ++j, ++o) {
+        tb[o] = m.t[j];
+        cb[o] = m.ch[j];
+      }
+      next_bounds.push_back(jend);
+    }
+    if (s + 1 < bounds.size()) {  // odd segment out: copy through
+      std::copy(m.t.begin() + static_cast<std::ptrdiff_t>(bounds[s]),
+                m.t.begin() + static_cast<std::ptrdiff_t>(bounds[s + 1]),
+                tb.begin() + static_cast<std::ptrdiff_t>(bounds[s]));
+      std::copy(m.ch.begin() + static_cast<std::ptrdiff_t>(bounds[s]),
+                m.ch.begin() + static_cast<std::ptrdiff_t>(bounds[s + 1]),
+                cb.begin() + static_cast<std::ptrdiff_t>(bounds[s]));
+      next_bounds.push_back(bounds[s + 1]);
+    }
+    m.t.swap(tb);
+    m.ch.swap(cb);
+    bounds.swap(next_bounds);
+  }
+  return m;
+}
+
+}  // namespace
+
+std::vector<CoincidenceHistogram> correlate_all(const EventTable& signal,
+                                                const EventTable& idler,
+                                                double bin_width_s, double range_s) {
+  if (bin_width_s <= 0 || range_s <= 0)
+    throw std::invalid_argument("correlate_all: non-positive bin width or range");
+  if (signal.num_channels() != idler.num_channels())
+    throw std::invalid_argument("correlate_all: channel count mismatch");
+
+  const auto half_bins = static_cast<std::size_t>(std::ceil(range_s / bin_width_s));
+  std::vector<CoincidenceHistogram> hists(signal.num_channels());
+  for (auto& h : hists) {
+    h.bin_width_s = bin_width_s;
+    h.range_s = range_s;
+    h.counts.assign(2 * half_bins + 1, 0);
+  }
+
+  // Diagonal pairs only: a two-pointer pass per channel directly over the
+  // contiguous columns, no merge or copies needed.
+  for (std::size_t c = 0; c < signal.num_channels(); ++c) {
+    const double* ib = idler.channel_begin(c);
+    const double* ie = idler.channel_end(c);
+    auto& counts = hists[c].counts;
+    const double* lo = ib;
+    for (const double* a = signal.channel_begin(c); a != signal.channel_end(c); ++a) {
+      const double ta = *a;
+      while (lo != ie && *lo < ta - range_s) ++lo;
+      for (const double* j = lo; j != ie && *j <= ta + range_s; ++j) {
+        const double dt = ta - *j;
+        const auto bin = static_cast<std::int64_t>(std::llround(dt / bin_width_s)) +
+                         static_cast<std::int64_t>(half_bins);
+        if (bin >= 0 && bin < static_cast<std::int64_t>(counts.size()))
+          ++counts[static_cast<std::size_t>(bin)];
+      }
+    }
+  }
+  return hists;
+}
+
+std::vector<std::uint64_t> coincidence_count_matrix(const EventTable& signal,
+                                                    const EventTable& idler,
+                                                    double window_s, double offset_s) {
+  if (window_s <= 0)
+    throw std::invalid_argument("coincidence_count_matrix: window <= 0");
+
+  const std::size_t ns = signal.num_channels();
+  const std::size_t ni = idler.num_channels();
+  std::vector<std::uint64_t> counts(ns * ni, 0);
+  if (ns == 0 || ni == 0) return counts;
+
+  const double half = window_s / 2.0;
+  // Conservative scan reach (one extra window of slack): membership below
+  // uses the same center-bounds arithmetic as count_coincidences, so the
+  // counts are bitwise identical to the pairwise legacy scan.
+  const double reach = std::abs(offset_s) + window_s;
+  // Merge only the idler side; the signal side is swept one contiguous
+  // channel column at a time (each already sorted), which skips half the
+  // merge work without changing any count.
+  const MergedView i = merge_channels(idler);
+  for (std::size_t cs = 0; cs < ns; ++cs) {
+    std::size_t lo = 0;
+    for (const double* a = signal.channel_begin(cs); a != signal.channel_end(cs);
+         ++a) {
+      const double ta = *a;
+      const double center = ta - offset_s;
+      while (lo < i.t.size() && i.t[lo] < ta - reach) ++lo;
+      for (std::size_t j = lo; j < i.t.size() && i.t[j] <= ta + reach; ++j) {
+        const double tb = i.t[j];
+        if (tb >= center - half && tb <= center + half)
+          ++counts[cs * ni + i.ch[j]];
+      }
+    }
+  }
+  return counts;
+}
+
+const CarResult& CarMatrix::at(std::size_t s, std::size_t i) const {
+  if (s >= num_signal || i >= num_idler)
+    throw std::out_of_range("CarMatrix::at: bad cell");
+  return cells[s * num_idler + i];
+}
+
+CarMatrix car_matrix(const EventTable& signal, const EventTable& idler,
+                     double window_s, double side_window_spacing_s,
+                     int num_side_windows) {
+  if (window_s <= 0) throw std::invalid_argument("car_matrix: window <= 0");
+  if (num_side_windows < 1)
+    throw std::invalid_argument("car_matrix: need at least one side window");
+  if (side_window_spacing_s <= window_s)
+    throw std::invalid_argument("car_matrix: side windows overlap the peak");
+
+  CarMatrix result;
+  result.num_signal = signal.num_channels();
+  result.num_idler = idler.num_channels();
+  result.cells.assign(result.num_signal * result.num_idler, CarResult{});
+  if (result.cells.empty()) return result;
+
+  // Window grid: index 0 is the peak at Δt = 0; side window w = 1..K sits
+  // at multiple m_w of the spacing, alternating +1, -1, +2, -2, ...
+  // (the same offsets measure_car scans one pair at a time).
+  const int K = num_side_windows;
+  const int mmax = (K + 1) / 2;
+  std::vector<int> window_of(static_cast<std::size_t>(2 * mmax + 1), -1);
+  window_of[static_cast<std::size_t>(mmax)] = 0;
+  for (int w = 1; w <= K; ++w) {
+    const int m = (w % 2 == 1) ? (w + 1) / 2 : -(w / 2);
+    window_of[static_cast<std::size_t>(m + mmax)] = w;
+  }
+
+  const double half = window_s / 2.0;
+  // Conservative scan reach (one extra window of slack); the rounding to
+  // the nearest grid offset only *selects* the candidate window — the
+  // membership test below repeats measure_car's center-bounds arithmetic
+  // exactly, so every cell is bitwise identical to the pairwise scans.
+  const double reach = mmax * side_window_spacing_s + window_s;
+  const std::size_t stride = static_cast<std::size_t>(K) + 1;
+  std::vector<std::uint64_t> counts(result.cells.size() * stride, 0);
+
+  // Merge only the idler side; sweep the signal side per contiguous
+  // channel column (see coincidence_count_matrix).
+  const MergedView i = merge_channels(idler);
+  for (std::size_t cs = 0; cs < result.num_signal; ++cs) {
+    std::size_t lo = 0;
+    for (const double* a = signal.channel_begin(cs); a != signal.channel_end(cs);
+         ++a) {
+      const double ta = *a;
+      while (lo < i.t.size() && i.t[lo] < ta - reach) ++lo;
+      for (std::size_t j = lo; j < i.t.size() && i.t[j] <= ta + reach; ++j) {
+        const double tb = i.t[j];
+        const double dt = ta - tb;
+        const auto m =
+            static_cast<std::int64_t>(std::llround(dt / side_window_spacing_s));
+        if (m < -mmax || m > mmax) continue;
+        const int w = window_of[static_cast<std::size_t>(m + mmax)];
+        if (w < 0) continue;
+        const double center = ta - static_cast<double>(m) * side_window_spacing_s;
+        if (tb < center - half || tb > center + half) continue;
+        ++counts[(cs * result.num_idler + i.ch[j]) * stride +
+                 static_cast<std::size_t>(w)];
+      }
+    }
+  }
+
+  for (std::size_t cell = 0; cell < result.cells.size(); ++cell) {
+    CarResult& r = result.cells[cell];
+    r.coincidences = static_cast<double>(counts[cell * stride]);
+    double acc_total = 0;
+    for (int w = 1; w <= K; ++w)
+      acc_total += static_cast<double>(counts[cell * stride + static_cast<std::size_t>(w)]);
+    r.accidentals = acc_total / K;
+    if (r.accidentals <= 0) r.accidentals = 1.0 / K;  // lower bound, as measure_car
+    r.car = r.coincidences / r.accidentals;
+    const double rel_c = r.coincidences > 0 ? 1.0 / std::sqrt(r.coincidences) : 1.0;
+    const double rel_a = 1.0 / std::sqrt(std::max(1.0, acc_total));
+    r.car_err = r.car * std::sqrt(rel_c * rel_c + rel_a * rel_a);
+  }
+  return result;
+}
+
+}  // namespace qfc::detect

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file event_engine.hpp
+/// Batched columnar Monte-Carlo detection engine: generates correlated
+/// click streams for N comb channel pairs in one pass into
+/// structure-of-arrays tables, and analyzes every signal x idler
+/// combination with single merge-sweeps instead of O(n²) pairwise
+/// re-scans of the full streams.
+///
+/// Layout (see src/qfc/detect/README.md): an EventTable holds one
+/// contiguous timestamp column plus a parallel channel-id column, grouped
+/// channel-major with CSR-style offsets. Within each channel the
+/// timestamps are sorted ascending.
+///
+/// Determinism contract: EventEngine::run derives one RNG per channel by
+/// forking a master generator in channel order *before* any parallel work
+/// starts, and every channel's pipeline consumes only its own generator.
+/// Worker threads claim whole channels and write into per-channel slots,
+/// so the output is bitwise identical for every value of
+/// EngineConfig::num_threads at a fixed seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "qfc/detect/coincidence.hpp"
+#include "qfc/detect/detector.hpp"
+
+namespace qfc::detect {
+
+/// Columnar (structure-of-arrays) click table for one detector bank.
+struct EventTable {
+  std::vector<double> time_s;          ///< click timestamps, channel-major
+  std::vector<std::uint32_t> channel;  ///< channel id of each timestamp
+  std::vector<std::size_t> offsets;    ///< channel c spans [offsets[c], offsets[c+1])
+
+  std::size_t num_channels() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t size() const { return time_s.size(); }
+  std::size_t channel_size(std::size_t c) const;
+  const double* channel_begin(std::size_t c) const;
+  const double* channel_end(std::size_t c) const;
+
+  /// Copy of one channel's column, for the single-stream legacy APIs
+  /// (measure_car, correlate, ...).
+  std::vector<double> channel_clicks(std::size_t c) const;
+
+  /// Build a table from per-channel columns (each must be sorted).
+  static EventTable from_columns(std::vector<std::vector<double>> per_channel);
+
+  bool operator==(const EventTable&) const = default;
+};
+
+/// Physics + collection chain of one comb channel pair.
+struct ChannelPairSpec {
+  double pair_rate_hz = 0;            ///< on-chip generated pair rate
+  double linewidth_hz = 0;            ///< Lorentzian FWHM of both photons
+  double transmission_signal = 1.0;   ///< channel transmission, signal arm
+  double transmission_idler = 1.0;    ///< channel transmission, idler arm
+  /// Uncorrelated in-band background photons reaching each arm's detector
+  /// (leaked pump, fluorescence); thinned by detector efficiency like real
+  /// photons, unlike DetectorParams::dark_rate_hz which clicks directly.
+  double background_rate_signal_hz = 0;
+  double background_rate_idler_hz = 0;
+  DetectorParams detector_signal;
+  DetectorParams detector_idler;
+};
+
+struct EngineConfig {
+  double duration_s = 1.0;
+  std::uint64_t seed = 1;
+  /// Worker threads for the per-channel passes; 0 = hardware concurrency.
+  /// Output is bitwise independent of this value (see file comment).
+  int num_threads = 0;
+};
+
+/// Click tables for the two detector banks; channel c of each table is
+/// channel pair c of the spec list.
+struct EngineResult {
+  EventTable signal;
+  EventTable idler;
+};
+
+class EventEngine {
+ public:
+  explicit EventEngine(EngineConfig cfg);
+
+  const EngineConfig& config() const noexcept { return cfg_; }
+
+  /// Full chain for all channel pairs: correlated pair generation with
+  /// per-arm transmission, uncorrelated background injection, detector
+  /// efficiency/jitter, dark counts, sort, dead time.
+  EngineResult run(const std::vector<ChannelPairSpec>& channels) const;
+
+ private:
+  EngineConfig cfg_;
+};
+
+/// Δt histograms for the diagonal (signal k, idler k) channel pairs, all
+/// built in one merge-sweep over the two tables.
+std::vector<CoincidenceHistogram> correlate_all(const EventTable& signal,
+                                                const EventTable& idler,
+                                                double bin_width_s, double range_s);
+
+/// Windowed coincidence counts (|t_s - t_i - offset| <= window/2) for every
+/// (signal channel, idler channel) combination in a single merge-sweep.
+/// Row-major: count[s * idler.num_channels() + i].
+std::vector<std::uint64_t> coincidence_count_matrix(const EventTable& signal,
+                                                    const EventTable& idler,
+                                                    double window_s,
+                                                    double offset_s = 0.0);
+
+struct CarMatrix {
+  std::size_t num_signal = 0;
+  std::size_t num_idler = 0;
+  std::vector<CarResult> cells;  ///< row-major num_signal x num_idler
+
+  const CarResult& at(std::size_t s, std::size_t i) const;
+};
+
+/// measure_car for every signal x idler combination in a single
+/// merge-sweep: peak window plus `num_side_windows` accidental windows at
+/// multiples of `side_window_spacing_s` (alternating sides), with the same
+/// counting and error semantics as measure_car.
+CarMatrix car_matrix(const EventTable& signal, const EventTable& idler,
+                     double window_s, double side_window_spacing_s,
+                     int num_side_windows = 10);
+
+}  // namespace qfc::detect

@@ -6,6 +6,10 @@
 /// signal-idler delay (the Fourier pair of the Lorentzian resonance), and
 /// per-arm channel transmission. Detector imperfections are applied
 /// separately by SinglePhotonDetector.
+///
+/// These are the single-stream kernels of the batched columnar
+/// EventEngine (event_engine.hpp), which applies them per channel column;
+/// multi-channel callers should use the engine rather than looping here.
 
 #include <vector>
 

@@ -129,6 +129,33 @@ TEST(Coincidence, HistogramPeaksAtOffset) {
   EXPECT_EQ(h.total(), 5000u);
 }
 
+TEST(Coincidence, CorrelateEmptyStreams) {
+  const auto h = detect::correlate({}, {}, 1e-9, 10e-9);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.counts.size(), 21u);
+  EXPECT_EQ(detect::correlate({1.0}, {}, 1e-9, 10e-9).total(), 0u);
+  EXPECT_EQ(detect::correlate({}, {1.0}, 1e-9, 10e-9).total(), 0u);
+}
+
+TEST(Coincidence, CorrelateRejectsNonPositiveBinWidthOrRange) {
+  EXPECT_THROW(detect::correlate({}, {}, 0.0, 1e-9), std::invalid_argument);
+  EXPECT_THROW(detect::correlate({}, {}, -1e-9, 1e-9), std::invalid_argument);
+  EXPECT_THROW(detect::correlate({}, {}, 1e-9, 0.0), std::invalid_argument);
+  EXPECT_THROW(detect::correlate({}, {}, 1e-9, -1e-9), std::invalid_argument);
+}
+
+TEST(Coincidence, CorrelateBinBoundaryTies) {
+  // Power-of-two times so the Δt/bin ratios are exact: bin width 1 s,
+  // range 3 s. Δt of exactly half a bin rounds away from zero (llround).
+  const std::vector<double> a{16.0};
+  const std::vector<double> b{12.9, 15.5, 15.75, 16.5};
+  const auto h = detect::correlate(a, b, 1.0, 3.0);
+  EXPECT_EQ(h.counts[h.center_bin()], 1u);      // Δt = +0.25 -> center
+  EXPECT_EQ(h.counts[h.center_bin() + 1], 1u);  // Δt = +0.5 -> bin +1
+  EXPECT_EQ(h.counts[h.center_bin() - 1], 1u);  // Δt = -0.5 -> bin -1
+  EXPECT_EQ(h.total(), 3u);                     // Δt = +3.1 beyond range: dropped
+}
+
 TEST(Coincidence, CarOnSyntheticStreams) {
   // Known-rate correlated + background stream: CAR should be near the
   // analytic value R_c/(S_a S_b τ).

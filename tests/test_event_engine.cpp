@@ -1,0 +1,330 @@
+// Tests for the batched columnar event engine: SoA table layout, bitwise
+// equivalence with the legacy per-channel chain, thread-count determinism,
+// merge-sweep analysis vs the single-pair analyzers, and the engine-backed
+// cross-checks in the core layer.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qfc/core/comb_source.hpp"
+#include "qfc/core/hbt.hpp"
+#include "qfc/core/qkd.hpp"
+#include "qfc/detect/event_engine.hpp"
+#include "qfc/detect/event_stream.hpp"
+
+namespace {
+
+using namespace qfc;
+using detect::ChannelPairSpec;
+using detect::EngineConfig;
+using detect::EngineResult;
+using detect::EventEngine;
+using detect::EventTable;
+
+std::vector<ChannelPairSpec> test_specs(int n) {
+  std::vector<ChannelPairSpec> specs;
+  for (int k = 0; k < n; ++k) {
+    ChannelPairSpec s;
+    s.pair_rate_hz = 20000.0 + 1500.0 * k;
+    s.linewidth_hz = 110e6;
+    s.transmission_signal = 0.8;
+    s.transmission_idler = 0.75;
+    s.detector_signal.efficiency = 0.25;
+    s.detector_signal.dark_rate_hz = 5e3;
+    s.detector_signal.jitter_sigma_s = 120e-12;
+    s.detector_signal.dead_time_s = 1e-6;
+    s.detector_idler = s.detector_signal;
+    s.detector_idler.efficiency = 0.2;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+TEST(EventTable, FromColumnsLayoutAndAccessors) {
+  const auto t = EventTable::from_columns({{1.0, 2.0}, {}, {0.5, 0.75, 3.0}});
+  EXPECT_EQ(t.num_channels(), 3u);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.channel_size(0), 2u);
+  EXPECT_EQ(t.channel_size(1), 0u);
+  EXPECT_EQ(t.channel_size(2), 3u);
+  EXPECT_EQ(t.channel_clicks(2), (std::vector<double>{0.5, 0.75, 3.0}));
+  EXPECT_EQ(t.channel, (std::vector<std::uint32_t>{0, 0, 2, 2, 2}));
+  EXPECT_EQ(t.offsets, (std::vector<std::size_t>{0, 2, 2, 5}));
+  EXPECT_THROW(t.channel_clicks(3), std::out_of_range);
+}
+
+TEST(EventTable, FromColumnsRejectsUnsorted) {
+  EXPECT_THROW(EventTable::from_columns({{2.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(EventEngine, MatchesLegacyPipelineBitwise) {
+  // The engine's per-channel pipeline with one pre-forked generator per
+  // channel must reproduce the legacy generate -> detect chain exactly.
+  const auto specs = test_specs(3);
+  EngineConfig ec;
+  ec.duration_s = 2.0;
+  ec.seed = 99;
+  ec.num_threads = 1;
+  const EngineResult res = EventEngine(ec).run(specs);
+
+  rng::Xoshiro256 master(99);
+  for (std::size_t c = 0; c < specs.size(); ++c) {
+    rng::Xoshiro256 g = master.fork(static_cast<std::uint64_t>(c + 1));
+    detect::PairStreamParams p;
+    p.pair_rate_hz = specs[c].pair_rate_hz;
+    p.linewidth_hz = specs[c].linewidth_hz;
+    p.duration_s = ec.duration_s;
+    p.transmission_a = specs[c].transmission_signal;
+    p.transmission_b = specs[c].transmission_idler;
+    const auto photons = detect::generate_pair_arrivals(p, g);
+    const detect::SinglePhotonDetector ds(specs[c].detector_signal);
+    const detect::SinglePhotonDetector di(specs[c].detector_idler);
+    EXPECT_EQ(res.signal.channel_clicks(c), ds.detect(photons.a, ec.duration_s, g));
+    EXPECT_EQ(res.idler.channel_clicks(c), di.detect(photons.b, ec.duration_s, g));
+  }
+}
+
+TEST(EventEngine, BitwiseInvariantAcrossThreadCounts) {
+  const auto specs = test_specs(5);
+  EngineConfig ec;
+  ec.duration_s = 1.0;
+  ec.seed = 7;
+  ec.num_threads = 1;
+  const EngineResult r1 = EventEngine(ec).run(specs);
+  ec.num_threads = 3;
+  const EngineResult r3 = EventEngine(ec).run(specs);
+  ec.num_threads = 8;
+  const EngineResult r8 = EventEngine(ec).run(specs);
+  EXPECT_EQ(r1.signal, r3.signal);
+  EXPECT_EQ(r1.idler, r3.idler);
+  EXPECT_EQ(r1.signal, r8.signal);
+  EXPECT_EQ(r1.idler, r8.idler);
+}
+
+TEST(EventEngine, CarStatisticallyMatchesLegacySingleStream) {
+  // Same physics, independent seeds: the engine CAR and the legacy
+  // single-stream CAR must agree within their Poisson errors.
+  ChannelPairSpec spec;
+  spec.pair_rate_hz = 2000;
+  spec.linewidth_hz = 100e6;
+  spec.detector_signal.efficiency = 1.0;
+  spec.detector_signal.dark_rate_hz = 3000;
+  spec.detector_signal.jitter_sigma_s = 0;
+  spec.detector_signal.dead_time_s = 0;
+  spec.detector_idler = spec.detector_signal;
+
+  EngineConfig ec;
+  ec.duration_s = 30.0;
+  ec.seed = 11;
+  const EngineResult res = EventEngine(ec).run({spec});
+  const auto engine_car =
+      detect::car_matrix(res.signal, res.idler, 20e-9, 200e-9).at(0, 0);
+
+  rng::Xoshiro256 g(1234);
+  detect::PairStreamParams p;
+  p.pair_rate_hz = spec.pair_rate_hz;
+  p.linewidth_hz = spec.linewidth_hz;
+  p.duration_s = ec.duration_s;
+  const auto photons = detect::generate_pair_arrivals(p, g);
+  const detect::SinglePhotonDetector det(spec.detector_signal);
+  const auto a = det.detect(photons.a, ec.duration_s, g);
+  const auto b = det.detect(photons.b, ec.duration_s, g);
+  const auto legacy_car = detect::measure_car(a, b, 20e-9, 200e-9);
+
+  const double err = std::sqrt(engine_car.car_err * engine_car.car_err +
+                               legacy_car.car_err * legacy_car.car_err);
+  EXPECT_NEAR(engine_car.car, legacy_car.car, 5.0 * err);
+  EXPECT_GT(engine_car.car, 10.0);  // sanity: clearly correlated
+}
+
+TEST(EventEngine, DarkCountsLowerCar) {
+  ChannelPairSpec quiet;
+  quiet.pair_rate_hz = 2000;
+  quiet.linewidth_hz = 100e6;
+  quiet.detector_signal.efficiency = 0.5;
+  quiet.detector_signal.dark_rate_hz = 0;
+  quiet.detector_signal.jitter_sigma_s = 0;
+  quiet.detector_signal.dead_time_s = 0;
+  quiet.detector_idler = quiet.detector_signal;
+  ChannelPairSpec noisy = quiet;
+  noisy.detector_signal.dark_rate_hz = 30e3;
+  noisy.detector_idler.dark_rate_hz = 30e3;
+
+  EngineConfig ec;
+  ec.duration_s = 20.0;
+  ec.seed = 3;
+  const EngineResult res = EventEngine(ec).run({quiet, noisy});
+  const auto matrix = detect::car_matrix(res.signal, res.idler, 10e-9, 100e-9);
+  EXPECT_GT(matrix.at(0, 0).car, 3.0 * matrix.at(1, 1).car);
+  EXPECT_GT(matrix.at(1, 1).car, 1.0);  // still correlated, just a lower CAR
+}
+
+TEST(EventEngine, BackgroundInjectionRaisesSingles) {
+  ChannelPairSpec spec;
+  spec.pair_rate_hz = 0;
+  spec.linewidth_hz = 100e6;
+  spec.background_rate_signal_hz = 50e3;
+  spec.detector_signal.efficiency = 0.5;
+  spec.detector_signal.dark_rate_hz = 0;
+  spec.detector_signal.jitter_sigma_s = 0;
+  spec.detector_signal.dead_time_s = 0;
+  spec.detector_idler = spec.detector_signal;
+
+  EngineConfig ec;
+  ec.duration_s = 10.0;
+  ec.seed = 5;
+  const EngineResult res = EventEngine(ec).run({spec});
+  // Background photons are thinned by the detector efficiency.
+  EXPECT_NEAR(static_cast<double>(res.signal.channel_size(0)), 250e3, 5e3);
+  EXPECT_EQ(res.idler.channel_size(0), 0u);
+}
+
+TEST(EventEngine, ValidationErrors) {
+  EXPECT_THROW(EventEngine(EngineConfig{0.0, 1, 0}), std::invalid_argument);
+  EXPECT_THROW(EventEngine(EngineConfig{1.0, 1, -2}), std::invalid_argument);
+  ChannelPairSpec bad;
+  bad.pair_rate_hz = 1000;
+  bad.linewidth_hz = 0;  // rejected by the generation kernel
+  EngineConfig ec;
+  EXPECT_THROW(EventEngine(ec).run({bad}), std::invalid_argument);
+  bad.linewidth_hz = 100e6;
+  bad.background_rate_signal_hz = -1;
+  EXPECT_THROW(EventEngine(ec).run({bad}), std::invalid_argument);
+}
+
+TEST(BatchedAnalysis, CarMatrixMatchesMeasureCar) {
+  const auto specs = test_specs(3);
+  EngineConfig ec;
+  ec.duration_s = 5.0;
+  ec.seed = 42;
+  const EngineResult res = EventEngine(ec).run(specs);
+
+  const double window = 8e-9, spacing = 100e-9;
+  const auto matrix = detect::car_matrix(res.signal, res.idler, window, spacing);
+  ASSERT_EQ(matrix.num_signal, 3u);
+  ASSERT_EQ(matrix.num_idler, 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto legacy = detect::measure_car(res.signal.channel_clicks(s),
+                                              res.idler.channel_clicks(i), window,
+                                              spacing);
+      const auto& cell = matrix.at(s, i);
+      EXPECT_DOUBLE_EQ(cell.coincidences, legacy.coincidences) << s << "," << i;
+      EXPECT_DOUBLE_EQ(cell.accidentals, legacy.accidentals) << s << "," << i;
+      EXPECT_DOUBLE_EQ(cell.car, legacy.car) << s << "," << i;
+      EXPECT_DOUBLE_EQ(cell.car_err, legacy.car_err) << s << "," << i;
+    }
+  }
+}
+
+TEST(BatchedAnalysis, CorrelateAllMatchesCorrelate) {
+  const auto specs = test_specs(2);
+  EngineConfig ec;
+  ec.duration_s = 5.0;
+  ec.seed = 21;
+  const EngineResult res = EventEngine(ec).run(specs);
+
+  const auto hists = detect::correlate_all(res.signal, res.idler, 0.5e-9, 20e-9);
+  ASSERT_EQ(hists.size(), 2u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    const auto legacy = detect::correlate(res.signal.channel_clicks(c),
+                                          res.idler.channel_clicks(c), 0.5e-9, 20e-9);
+    EXPECT_EQ(hists[c].counts, legacy.counts) << "channel " << c;
+    EXPECT_DOUBLE_EQ(hists[c].bin_width_s, legacy.bin_width_s);
+  }
+}
+
+TEST(BatchedAnalysis, CountMatrixMatchesLegacy) {
+  const auto specs = test_specs(2);
+  EngineConfig ec;
+  ec.duration_s = 5.0;
+  ec.seed = 63;
+  const EngineResult res = EventEngine(ec).run(specs);
+
+  for (const double offset : {0.0, 100e-9}) {
+    const auto counts =
+        detect::coincidence_count_matrix(res.signal, res.idler, 8e-9, offset);
+    ASSERT_EQ(counts.size(), 4u);
+    for (std::size_t s = 0; s < 2; ++s)
+      for (std::size_t i = 0; i < 2; ++i)
+        EXPECT_EQ(counts[s * 2 + i],
+                  detect::count_coincidences(res.signal.channel_clicks(s),
+                                             res.idler.channel_clicks(i), 8e-9, offset))
+            << s << "," << i << " offset " << offset;
+  }
+}
+
+TEST(BatchedAnalysis, ValidationErrors) {
+  const EventTable empty = EventTable::from_columns({{}});
+  EXPECT_THROW(detect::car_matrix(empty, empty, 0.0, 1e-7), std::invalid_argument);
+  EXPECT_THROW(detect::car_matrix(empty, empty, 1e-8, 1e-8), std::invalid_argument);
+  EXPECT_THROW(detect::car_matrix(empty, empty, 1e-8, 1e-7, 0), std::invalid_argument);
+  EXPECT_THROW(detect::correlate_all(empty, empty, 0.0, 1e-9), std::invalid_argument);
+  const EventTable two = EventTable::from_columns({{}, {}});
+  EXPECT_THROW(detect::correlate_all(empty, two, 1e-9, 1e-8), std::invalid_argument);
+  EXPECT_THROW(detect::coincidence_count_matrix(empty, empty, -1e-9),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- engine-backed core checks
+
+TEST(CoreStreamChecks, TimebinCarCheckShowsCorrelations) {
+  const auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::DoublePulse);
+  auto exp = comb.timebin_default();
+  const auto cars = exp.run_car_check(/*duration_s=*/0.2);
+  ASSERT_EQ(cars.size(), 5u);
+  for (const auto& car : cars) EXPECT_GT(car.car, 3.0);
+}
+
+TEST(CoreStreamChecks, QkdStreamCheckAccidentalFloor) {
+  const auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::DoublePulse);
+  auto exp = comb.timebin_default();
+  const core::MultiplexedQkdLink link(exp);
+  const auto checks = link.monte_carlo_stream_check(/*distance_km=*/0.0,
+                                                    /*duration_s=*/0.2);
+  ASSERT_EQ(checks.size(), 5u);
+  for (const auto& c : checks) {
+    EXPECT_GT(c.car.car, 2.0) << "k=" << c.k;
+    EXPECT_GT(c.measured_coincidence_rate_hz, 0.0) << "k=" << c.k;
+  }
+  EXPECT_THROW(link.monte_carlo_stream_check(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(CoreStreamChecks, StabilityCountedTraceAllan) {
+  const auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::SelfLockedCw);
+  core::StabilityConfig cfg;
+  cfg.observation_days = 2.0;
+  auto exp = comb.stability(cfg);
+  const auto counted =
+      exp.run_counted_scheme(photonics::PumpLocking::SelfLocked,
+                             /*mean_coincidence_rate_hz=*/20.0);
+  ASSERT_EQ(counted.counts.size(), counted.trace.relative_rate.size());
+  ASSERT_FALSE(counted.allan.empty());
+  // ~20 Hz * 3600 s per interval, near-resonant rate ~ 1.
+  EXPECT_NEAR(counted.mean_counts, 72000.0, 3000.0);
+  // Fractional stability at one interval: shot noise + residual drift.
+  EXPECT_LT(counted.allan.front().sigma, 0.05);
+  EXPECT_THROW(exp.run_counted_scheme(photonics::PumpLocking::SelfLocked, 0.0),
+               std::invalid_argument);
+}
+
+TEST(CoreStreamChecks, HbtTimeDomainAntibunched) {
+  core::HbtStreamParams p;
+  const auto r = core::run_hbt_time_domain(p);
+  // 100 kHz pairs * 0.2 herald efficiency * 10 s.
+  EXPECT_NEAR(static_cast<double>(r.heralds), 200e3, 3e3);
+  EXPECT_GT(r.coincidences_1, 1000u);
+  EXPECT_GT(r.coincidences_2, 1000u);
+  // Single photons split 50/50 cannot fire both detectors: g2 << 1.
+  EXPECT_LT(r.g2, 0.5);
+  core::HbtStreamParams bad;
+  bad.coincidence_window_s = 0;
+  EXPECT_THROW(core::run_hbt_time_domain(bad), std::invalid_argument);
+}
+
+}  // namespace
