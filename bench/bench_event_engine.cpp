@@ -10,7 +10,6 @@
 
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -114,12 +113,8 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string json_path = "BENCH_event_engine.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
-  }
+  const auto [smoke, json_path] =
+      bench::parse_flags(argc, argv, "BENCH_event_engine.json");
 
   bench::header("P1  bench_event_engine",
                 "batched columnar engine >= 5x faster than the legacy "
@@ -176,28 +171,18 @@ int main(int argc, char** argv) {
   std::printf("thread-count determinism (1 vs 4 threads): %s\n",
               deterministic ? "bitwise identical" : "MISMATCH");
 
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fprintf(f,
-                   "{\n  \"bench\": \"event_engine\",\n  \"mode\": \"%s\",\n"
-                   "  \"duration_s\": %.3f,\n  \"rows\": [\n",
-                   smoke ? "smoke" : "full", duration_s);
-      for (std::size_t i = 0; i < rows.size(); ++i)
-        std::fprintf(f,
-                     "    {\"n\": %d, \"legacy_ms\": %.3f, \"engine_ms\": %.3f, "
-                     "\"speedup\": %.3f, \"identical\": %s}%s\n",
-                     rows[i].n, rows[i].legacy_ms, rows[i].engine_ms, rows[i].speedup,
-                     rows[i].identical ? "true" : "false",
-                     i + 1 < rows.size() ? "," : "");
-      std::fprintf(f,
-                   "  ],\n  \"speedup_n10\": %.3f,\n  \"deterministic\": %s\n}\n",
-                   speedup_n10, deterministic ? "true" : "false");
-      std::fclose(f);
-      std::printf("wrote %s\n", json_path.c_str());
-    } else {
-      std::printf("could not write %s\n", json_path.c_str());
-    }
-  }
+  std::vector<std::string> json_rows;
+  json_rows.reserve(rows.size());
+  for (const Row& r : rows)
+    json_rows.push_back(bench::format(
+        "{\"n\": %d, \"legacy_ms\": %.3f, \"engine_ms\": %.3f, "
+        "\"speedup\": %.3f, \"identical\": %s}",
+        r.n, r.legacy_ms, r.engine_ms, r.speedup, r.identical ? "true" : "false"));
+  bench::write_json(json_path, "event_engine", smoke, json_rows,
+                    {bench::format("\"duration_s\": %.3f", duration_s),
+                     bench::format("\"speedup_n10\": %.3f", speedup_n10),
+                     bench::format("\"deterministic\": %s",
+                                   deterministic ? "true" : "false")});
 
   // Exit code gates on correctness only (cell identity + thread-count
   // determinism); the speedup target is reported but not allowed to fail

@@ -1,21 +1,33 @@
-// EK: google-benchmark microbenchmarks of the numerical kernels that
-// dominate the reproduction runtime: Hermitian eigendecomposition, SVD /
-// Schmidt decomposition, Monte-Carlo stream generation, coincidence
-// correlation, and one MLE tomography iteration cycle.
+// Microbenchmarks of the numerical kernels that dominate the reproduction
+// runtime: Hermitian eigendecomposition, SVD / Schmidt decomposition,
+// Monte-Carlo stream generation, coincidence correlation, and one MLE
+// tomography cycle. Emits the same machine-readable JSON envelope as
+// bench_event_engine / bench_linalg_backends ({bench, mode, rows}) so the
+// perf trajectory accumulates run over run.
+//
+// Usage: bench_kernels [--smoke] [--json PATH]
+//   --smoke   fewer repetitions (CI)
+//   --json    write machine-readable results (default BENCH_kernels.json)
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "qfc/detect/coincidence.hpp"
 #include "qfc/detect/event_stream.hpp"
 #include "qfc/linalg/hermitian_eig.hpp"
 #include "qfc/linalg/svd.hpp"
 #include "qfc/quantum/bell.hpp"
+#include "qfc/rng/xoshiro.hpp"
 #include "qfc/sfwm/jsa.hpp"
 #include "qfc/tomo/tomography.hpp"
 
 namespace {
 
 using namespace qfc;
+using Clock = std::chrono::steady_clock;
 
 linalg::CMat random_hermitian(std::size_t n, std::uint64_t seed) {
   rng::Xoshiro256 g(seed);
@@ -26,84 +38,102 @@ linalg::CMat random_hermitian(std::size_t n, std::uint64_t seed) {
   return linalg::hermitian_part(a);
 }
 
-void BM_HermitianEig(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto a = random_hermitian(n, 42);
-  for (auto _ : state) {
-    auto e = linalg::hermitian_eig(a);
-    benchmark::DoNotOptimize(e.values.data());
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_HermitianEig)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+struct Row {
+  std::string name;
+  std::size_t n = 0;
+  int reps = 0;
+  double ms_per_rep = 0;
+};
 
-void BM_SchmidtDecomposition(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  sfwm::JsaParams p;
-  p.pump_bandwidth_hz = 800e6;
-  p.ring_linewidth_s_hz = 800e6;
-  p.ring_linewidth_i_hz = 800e6;
-  p.grid_points = n;
-  const auto jsa = sfwm::sample_jsa(p);
-  for (auto _ : state) {
-    auto r = sfwm::schmidt_decompose(jsa);
-    benchmark::DoNotOptimize(r.purity);
-  }
-  state.SetComplexityN(state.range(0));
+/// Time `fn` over `reps` repetitions, returning mean ms per repetition.
+template <class F>
+Row time_kernel(const std::string& name, std::size_t n, int reps, F&& fn) {
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  const double total_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  return Row{name, n, reps, total_ms / reps};
 }
-BENCHMARK(BM_SchmidtDecomposition)->Arg(16)->Arg(32)->Arg(64)->Complexity();
-
-void BM_PairStreamGeneration(benchmark::State& state) {
-  rng::Xoshiro256 g(7);
-  detect::PairStreamParams p;
-  p.pair_rate_hz = static_cast<double>(state.range(0));
-  p.linewidth_hz = 100e6;
-  p.duration_s = 1.0;
-  for (auto _ : state) {
-    auto s = detect::generate_pair_arrivals(p, g);
-    benchmark::DoNotOptimize(s.a.data());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_PairStreamGeneration)->Arg(1000)->Arg(10000)->Arg(100000);
-
-void BM_CoincidenceCorrelation(benchmark::State& state) {
-  rng::Xoshiro256 g(8);
-  detect::PairStreamParams p;
-  p.pair_rate_hz = static_cast<double>(state.range(0));
-  p.linewidth_hz = 100e6;
-  p.duration_s = 1.0;
-  const auto s = detect::generate_pair_arrivals(p, g);
-  for (auto _ : state) {
-    auto h = detect::correlate(s.a, s.b, 1e-9, 50e-9);
-    benchmark::DoNotOptimize(h.counts.data());
-  }
-}
-BENCHMARK(BM_CoincidenceCorrelation)->Arg(10000)->Arg(100000);
-
-void BM_TomographySimulate2Q(benchmark::State& state) {
-  rng::Xoshiro256 g(9);
-  const auto rho = quantum::werner_phi(0.83);
-  for (auto _ : state) {
-    auto data = tomo::simulate_counts(rho, 500.0, {}, g);
-    benchmark::DoNotOptimize(data.data());
-  }
-}
-BENCHMARK(BM_TomographySimulate2Q);
-
-void BM_TomographyMle(benchmark::State& state) {
-  rng::Xoshiro256 g(10);
-  const auto n_qubits = state.range(0);
-  const auto pair = quantum::werner_phi(0.83);
-  const auto rho = n_qubits == 2 ? pair : pair.tensor(pair);
-  const auto data = tomo::simulate_counts(rho, 200.0, {}, g);
-  for (auto _ : state) {
-    auto mle = tomo::maximum_likelihood(data);
-    benchmark::DoNotOptimize(mle.iterations);
-  }
-}
-BENCHMARK(BM_TomographyMle)->Arg(2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto [smoke, json_path] = bench::parse_flags(argc, argv, "BENCH_kernels.json");
+
+  bench::header("P0  bench_kernels",
+                "microbenchmark trajectory of the dominant numerical kernels "
+                "(eig, Schmidt/SVD, stream generation, correlation, MLE)");
+
+  const int rep_scale = smoke ? 1 : 4;
+  std::vector<Row> rows;
+
+  for (const std::size_t n : {8u, 16u, 32u}) {
+    const auto a = random_hermitian(n, 42);
+    rows.push_back(time_kernel("hermitian_eig", n, 20 * rep_scale, [&] {
+      auto e = linalg::hermitian_eig(a);
+      (void)e;
+    }));
+  }
+
+  for (const std::size_t n : {16u, 32u, 64u}) {
+    sfwm::JsaParams p;
+    p.pump_bandwidth_hz = 800e6;
+    p.ring_linewidth_s_hz = 800e6;
+    p.ring_linewidth_i_hz = 800e6;
+    p.grid_points = n;
+    const auto jsa = sfwm::sample_jsa(p);
+    rows.push_back(time_kernel("schmidt_decompose", n, 10 * rep_scale, [&] {
+      auto r = sfwm::schmidt_decompose(jsa);
+      (void)r;
+    }));
+  }
+
+  {
+    rng::Xoshiro256 g(7);
+    detect::PairStreamParams p;
+    p.pair_rate_hz = 100e3;
+    p.linewidth_hz = 100e6;
+    p.duration_s = 1.0;
+    rows.push_back(time_kernel("pair_stream_generation", 100000, 5 * rep_scale, [&] {
+      auto s = detect::generate_pair_arrivals(p, g);
+      (void)s;
+    }));
+
+    const auto s = detect::generate_pair_arrivals(p, g);
+    rows.push_back(time_kernel("coincidence_correlation", 100000, 5 * rep_scale, [&] {
+      auto h = detect::correlate(s.a, s.b, 1e-9, 50e-9);
+      (void)h;
+    }));
+  }
+
+  {
+    rng::Xoshiro256 g(9);
+    const auto rho = quantum::werner_phi(0.83);
+    rows.push_back(time_kernel("tomo_simulate_counts", 4, 10 * rep_scale, [&] {
+      auto data = tomo::simulate_counts(rho, 500.0, {}, g);
+      (void)data;
+    }));
+
+    rng::Xoshiro256 g2(10);
+    const auto data = tomo::simulate_counts(rho, 200.0, {}, g2);
+    rows.push_back(time_kernel("tomo_mle", 4, 2 * rep_scale, [&] {
+      auto mle = tomo::maximum_likelihood(data);
+      (void)mle;
+    }));
+  }
+
+  std::printf("%-26s %8s %6s %12s\n", "kernel", "n", "reps", "ms/rep");
+  for (const auto& r : rows)
+    std::printf("%-26s %8zu %6d %12.3f\n", r.name.c_str(), r.n, r.reps, r.ms_per_rep);
+
+  std::vector<std::string> json_rows;
+  json_rows.reserve(rows.size());
+  for (const Row& r : rows)
+    json_rows.push_back(
+        bench::format("{\"kernel\": \"%s\", \"n\": %zu, \"reps\": %d, \"ms_per_rep\": %.3f}",
+                      r.name.c_str(), r.n, r.reps, r.ms_per_rep));
+  bench::write_json(json_path, "kernels", smoke, json_rows);
+
+  bench::verdict(true, "kernel timings recorded (" + std::to_string(rows.size()) + " rows)");
+  return 0;
+}

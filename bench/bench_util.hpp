@@ -1,11 +1,15 @@
 #pragma once
 
-// Shared formatting helpers for the reproduction benches. Each bench prints
-// a header naming the paper claim, the regenerated rows, and a PASS/CHECK
-// verdict on the claim's "shape" (see EXPERIMENTS.md).
+// Shared helpers for the reproduction benches. Each bench prints a header
+// naming the paper claim, the regenerated rows, and a PASS/CHECK verdict on
+// the claim's "shape" (see EXPERIMENTS.md). The perf benches additionally
+// emit one shared machine-readable JSON envelope ({bench, mode, rows, ...})
+// so their BENCH_*.json trajectories stay schema-compatible run over run.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 namespace bench {
 
@@ -19,6 +23,53 @@ inline void header(const char* id, const char* claim) {
 inline void verdict(bool ok, const std::string& detail) {
   std::printf("--------------------------------------------------------------\n");
   std::printf("[%s] %s\n\n", ok ? "PASS" : "CHECK", detail.c_str());
+}
+
+/// Shared `[--smoke] [--json PATH]` parsing for the perf benches.
+struct Flags {
+  bool smoke = false;
+  std::string json_path;
+};
+
+inline Flags parse_flags(int argc, char** argv, const char* default_json) {
+  Flags f;
+  f.json_path = default_json;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) f.smoke = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) f.json_path = argv[++i];
+  }
+  return f;
+}
+
+/// Write the shared JSON envelope. `rows` are pre-rendered JSON objects
+/// (no trailing commas); `extra` holds zero or more pre-rendered top-level
+/// members (e.g. "\"deterministic\": true") appended after the rows array.
+inline void write_json(const std::string& path, const char* bench_name, bool smoke,
+                       const std::vector<std::string>& rows,
+                       const std::vector<std::string>& extra = {}) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"mode\": \"%s\",\n  \"rows\": [\n",
+               bench_name, smoke ? "smoke" : "full");
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    std::fprintf(f, "    %s%s\n", rows[i].c_str(), i + 1 < rows.size() ? "," : "");
+  std::fprintf(f, "  ]");
+  for (const auto& e : extra) std::fprintf(f, ",\n  %s", e.c_str());
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// snprintf into a std::string, for rendering JSON rows/members.
+template <class... Ts>
+std::string format(const char* fmt, Ts... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  return std::string(buf);
 }
 
 }  // namespace bench

@@ -1,0 +1,180 @@
+#include "qfc/linalg/backend.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace qfc::linalg {
+namespace detail {
+
+JacobiParams jacobi_params(double app, double aqq, cplx apq, double mag) {
+  // Phase so that e^{-i phi} * apq is real positive, then the classic
+  // Jacobi angle: tan(2 theta) = 2|apq| / (app - aqq).
+  const cplx phase = apq / mag;
+  const double tau = (aqq - app) / (2.0 * mag);
+  const double t = (tau >= 0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+  JacobiParams jp;
+  jp.c = 1.0 / std::sqrt(1.0 + t * t);
+  jp.sp = (t * jp.c) * phase;
+  return jp;
+}
+
+double off_diag_norm2(const CMat& a) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (i != j) s += std::norm(a(i, j));
+  return s;
+}
+
+double jacobi_stop_threshold(double scale, std::size_t n) {
+  return (1e-14 * scale) * (1e-14 * scale) * static_cast<double>(n * n);
+}
+
+std::optional<BackendKind> parse_backend(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "reference" || lower == "ref") return BackendKind::Reference;
+  if (lower == "blocked") return BackendKind::Blocked;
+  return std::nullopt;
+}
+
+template <class T>
+void reference_gemm_impl(const Mat<T>& a, const Mat<T>& b, Mat<T>& c) {
+  // ikj order with a zero-skip on a(i,k): many quantum-layer operands
+  // (Paulis, Weyl shifts, projectors) are structurally sparse.
+  const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
+  const T* pa = a.data();
+  const T* pb = b.data();
+  T* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k = 0; k < kk; ++k) {
+      const T aik = pa[i * kk + k];
+      if (aik == T{}) continue;
+      const T* brow = pb + k * n;
+      T* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void reference_gemm(const RMat& a, const RMat& b, RMat& c) { reference_gemm_impl(a, b, c); }
+void reference_gemm(const CMat& a, const CMat& b, CMat& c) { reference_gemm_impl(a, b, c); }
+
+CMat reference_scaled_congruence(const CMat& v, const RVec& d) {
+  const std::size_t n = d.size();
+  CMat out(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      cplx s(0, 0);
+      for (std::size_t k = 0; k < n; ++k)
+        s += v(i, k) * d[k] * std::conj(v(j, k));
+      out(i, j) = s;
+    }
+  return out;
+}
+
+// gemm_dispatch (declared in matrix.hpp) is the seam Mat<T>::operator*
+// calls through; only the two scalar types used in the library exist.
+template <>
+void gemm_dispatch<double>(const RMat& a, const RMat& b, RMat& c) {
+  backend().gemm(a, b, c);
+}
+template <>
+void gemm_dispatch<cplx>(const CMat& a, const CMat& b, CMat& c) {
+  backend().gemm(a, b, c);
+}
+
+}  // namespace detail
+
+namespace {
+
+class ReferenceBackend final : public Backend {
+ public:
+  const char* name() const noexcept override { return "reference"; }
+  void gemm(const RMat& a, const RMat& b, RMat& c) const override {
+    detail::reference_gemm(a, b, c);
+  }
+  void gemm(const CMat& a, const CMat& b, CMat& c) const override {
+    detail::reference_gemm(a, b, c);
+  }
+  CMat scaled_congruence(const CMat& v, const RVec& d) const override {
+    return detail::reference_scaled_congruence(v, d);
+  }
+  EigResult hermitian_eig(const CMat& a, const EigOptions& opt) const override {
+    return detail::reference_hermitian_eig(a, opt);
+  }
+  SvdResult svd(const CMat& a, int max_sweeps) const override {
+    return detail::reference_svd(a, max_sweeps);
+  }
+};
+
+class BlockedBackend final : public Backend {
+ public:
+  const char* name() const noexcept override { return "blocked"; }
+  void gemm(const RMat& a, const RMat& b, RMat& c) const override {
+    detail::blocked_gemm(a, b, c);
+  }
+  void gemm(const CMat& a, const CMat& b, CMat& c) const override {
+    detail::blocked_gemm(a, b, c);
+  }
+  CMat scaled_congruence(const CMat& v, const RVec& d) const override {
+    // diag-scale the columns once, then one blocked GEMM against V†.
+    const std::size_t n = d.size();
+    CMat w(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < n; ++k) w(i, k) = v(i, k) * d[k];
+    CMat out(n, n);
+    detail::blocked_gemm(w, v.adjoint(), out);
+    return out;
+  }
+  EigResult hermitian_eig(const CMat& a, const EigOptions& opt) const override {
+    return detail::blocked_hermitian_eig(a, opt);
+  }
+  SvdResult svd(const CMat& a, int max_sweeps) const override {
+    return detail::blocked_svd(a, max_sweeps);
+  }
+};
+
+BackendKind initial_backend() {
+  if (const char* env = std::getenv("QFC_LINALG_BACKEND")) {
+    if (auto kind = detail::parse_backend(env)) return *kind;
+  }
+  return BackendKind::Reference;
+}
+
+std::atomic<BackendKind>& default_backend_slot() {
+  static std::atomic<BackendKind> kind{initial_backend()};
+  return kind;
+}
+
+}  // namespace
+
+BackendKind default_backend() { return default_backend_slot().load(std::memory_order_relaxed); }
+
+void set_default_backend(BackendKind kind) {
+  default_backend_slot().store(kind, std::memory_order_relaxed);
+}
+
+const Backend& backend(BackendKind kind) {
+  static const ReferenceBackend reference;
+  static const BlockedBackend blocked;
+  switch (kind) {
+    case BackendKind::Blocked:
+      return blocked;
+    case BackendKind::Reference:
+    default:
+      return reference;
+  }
+}
+
+const Backend& backend() { return backend(default_backend()); }
+
+const char* to_string(BackendKind kind) {
+  return kind == BackendKind::Blocked ? "blocked" : "reference";
+}
+
+}  // namespace qfc::linalg

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file backend.hpp
+/// Kernel-dispatch seam for the dense linear algebra every layer above
+/// bottoms out in: Schmidt purity in `sfwm`, the qudit CGLMP/MUB stack,
+/// `tomo::rrr_reconstruct`, and `quantum::measures`. Two backends ship:
+///
+///  - Reference: the original hand-rolled single-threaded loops. Always
+///    available, exhaustively tested, the accuracy baseline.
+///  - Blocked: cache-blocked GEMM with a transposed-B micro-kernel, and
+///    round-robin ("chess tournament") parallel Jacobi eig / one-sided
+///    Jacobi SVD on a reusable WorkerPool. Every rotation round partitions
+///    the matrix into disjoint row/column pairs, so the task-to-thread
+///    assignment cannot change any floating-point operation order: results
+///    are bitwise identical for every thread count (the same determinism
+///    contract as detect::EventEngine).
+///
+/// Selection: set_default_backend() programmatically, or the
+/// QFC_LINALG_BACKEND environment variable ("reference" | "blocked"),
+/// consulted once at first dispatch. Mat<T>::operator*, hermitian_eig(),
+/// svd(), and the spectral matrix functions all route through the active
+/// backend, so consumers upgrade with zero call-site changes.
+///
+/// Adding a backend (e.g. BLAS/LAPACK): implement the Backend interface,
+/// add a BackendKind enumerator, register the instance in backend(kind) and
+/// the name in to_string()/parse_backend(). See src/qfc/linalg/README.md.
+
+#include <optional>
+#include <string_view>
+
+#include "qfc/linalg/hermitian_eig.hpp"
+#include "qfc/linalg/matrix.hpp"
+#include "qfc/linalg/svd.hpp"
+
+namespace qfc::linalg {
+
+enum class BackendKind { Reference, Blocked };
+
+/// Options forwarded to the Hermitian eigensolver kernels.
+struct EigOptions {
+  int max_sweeps = 64;
+  bool want_vectors = true;
+};
+
+/// Abstract kernel set. Kernels assume pre-validated shapes (the public
+/// entry points in matrix.hpp / hermitian_eig.hpp / svd.hpp validate);
+/// eig kernels symmetrize their input, so round-off-level non-Hermiticity
+/// is tolerated.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual const char* name() const noexcept = 0;
+
+  /// c = a * b; the caller provides c zero-initialized with conforming
+  /// shape (kernels may accumulate into it or overwrite it).
+  virtual void gemm(const RMat& a, const RMat& b, RMat& c) const = 0;
+  virtual void gemm(const CMat& a, const CMat& b, CMat& c) const = 0;
+
+  /// herk-style congruence v · diag(d) · v† — the rebuild step of every
+  /// spectral matrix function. Result is Hermitian to round-off.
+  virtual CMat scaled_congruence(const CMat& v, const RVec& d) const = 0;
+
+  virtual EigResult hermitian_eig(const CMat& a, const EigOptions& opt) const = 0;
+  virtual SvdResult svd(const CMat& a, int max_sweeps) const = 0;
+};
+
+/// Active default backend (initialized from QFC_LINALG_BACKEND, else
+/// Reference). set_default_backend overrides for the rest of the process.
+BackendKind default_backend();
+void set_default_backend(BackendKind kind);
+
+/// The active backend instance / a specific backend instance. Instances are
+/// stateless singletons; both remain valid for the process lifetime, so
+/// benches can time one against the other directly.
+const Backend& backend();
+const Backend& backend(BackendKind kind);
+
+const char* to_string(BackendKind kind);
+
+/// Worker threads used by the Blocked backend (0 = one per hardware thread,
+/// the default; initial value also settable via QFC_LINALG_THREADS).
+/// Changing the count never changes results — only wall-clock.
+void set_backend_threads(unsigned n);
+unsigned backend_threads();
+
+/// The raw request last passed to set_backend_threads (or QFC_LINALG_THREADS
+/// at startup): 0 means auto. Lets callers save/restore the setting without
+/// collapsing "auto" to a concrete count.
+unsigned backend_thread_request();
+
+namespace detail {
+
+/// "reference" / "blocked" (case-insensitive) -> kind; nullopt otherwise.
+std::optional<BackendKind> parse_backend(std::string_view name);
+
+/// Complex Jacobi rotation parameters (c real, sp = sin·phase) for a pivot
+/// with diagonal entries app/aqq and off-diagonal apq of magnitude mag > 0.
+/// Single shared formula: every solver in every backend zeroes its pivot
+/// with exactly the same arithmetic, which is what the cross-backend 1e-10
+/// parity contract leans on.
+struct JacobiParams {
+  double c = 1.0;
+  cplx sp{0, 0};
+};
+JacobiParams jacobi_params(double app, double aqq, cplx apq, double mag);
+
+/// Sum of squared magnitudes of strictly off-diagonal elements.
+double off_diag_norm2(const CMat& a);
+
+/// Convergence threshold on off_diag_norm2 for an n x n Hermitian matrix of
+/// Frobenius norm `scale`.
+double jacobi_stop_threshold(double scale, std::size_t n);
+
+// Reference kernels: the original naive loops, kept as the always-available
+// baseline and as the small-dimension fallback of the Blocked backend.
+void reference_gemm(const RMat& a, const RMat& b, RMat& c);
+void reference_gemm(const CMat& a, const CMat& b, CMat& c);
+EigResult reference_hermitian_eig(const CMat& a, const EigOptions& opt);
+SvdResult reference_svd(const CMat& a, int max_sweeps);
+
+// Blocked kernels (blocked_backend.cpp).
+void blocked_gemm(const RMat& a, const RMat& b, RMat& c);
+void blocked_gemm(const CMat& a, const CMat& b, CMat& c);
+EigResult blocked_hermitian_eig(const CMat& a, const EigOptions& opt);
+SvdResult blocked_svd(const CMat& a, int max_sweeps);
+
+/// Shared eig finalization: read the (real) diagonal of the rotated matrix,
+/// sort descending, permute the accumulated eigenvector columns alongside.
+EigResult finalize_eig(const CMat& diagonalized, const CMat& vectors, bool want_vectors);
+
+}  // namespace detail
+
+}  // namespace qfc::linalg

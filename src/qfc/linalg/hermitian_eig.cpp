@@ -4,19 +4,13 @@
 #include <cmath>
 #include <numeric>
 
+#include "qfc/linalg/backend.hpp"
 #include "qfc/linalg/error.hpp"
 
 namespace qfc::linalg {
 namespace {
 
-/// Sum of squared magnitudes of strictly off-diagonal elements.
-double off_diag_norm2(const CMat& a) {
-  double s = 0;
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j)
-      if (i != j) s += std::norm(a(i, j));
-  return s;
-}
+using detail::off_diag_norm2;
 
 /// One cyclic Jacobi sweep on Hermitian `a`, accumulating rotations into `v`
 /// when v != nullptr. Each rotation zeroes a(p,q) exactly.
@@ -28,17 +22,8 @@ void jacobi_sweep(CMat& a, CMat* v) {
       const double mag = std::abs(apq);
       if (mag < 1e-300) continue;
 
-      // Phase so that e^{-i phi} * apq is real positive.
-      const cplx phase = apq / mag;
-      const double app = std::real(a(p, p));
-      const double aqq = std::real(a(q, q));
-
-      // Classic Jacobi angle: tan(2 theta) = 2|apq| / (app - aqq).
-      const double tau = (aqq - app) / (2.0 * mag);
-      const double t = (tau >= 0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
-      const double c = 1.0 / std::sqrt(1.0 + t * t);
-      const double s = t * c;
-      const cplx sp = s * phase;  // complex "sine" carrying the phase
+      const auto [c, sp] =
+          detail::jacobi_params(std::real(a(p, p)), std::real(a(q, q)), apq, mag);
 
       // Apply A <- J† A J with J acting on columns/rows p,q:
       //   col_p' =  c*col_p + conj(sp)... — implemented element-wise below.
@@ -72,32 +57,15 @@ void jacobi_sweep(CMat& a, CMat* v) {
   }
 }
 
-EigResult run(const CMat& input, int max_sweeps, double tol, bool want_vectors) {
-  input.require_square("hermitian_eig");
-  if (!is_hermitian(input, tol))
-    throw std::invalid_argument("hermitian_eig: input is not Hermitian");
+}  // namespace
 
-  const std::size_t n = input.rows();
-  CMat a = hermitian_part(input);  // symmetrize away round-off
-  CMat v = want_vectors ? CMat::identity(n) : CMat();
+namespace detail {
 
-  const double scale = std::max(a.frobenius_norm(), 1e-300);
-  const double stop = (1e-14 * scale) * (1e-14 * scale) * static_cast<double>(n * n);
-
-  bool converged = false;
-  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    if (off_diag_norm2(a) <= stop) {
-      converged = true;
-      break;
-    }
-    jacobi_sweep(a, want_vectors ? &v : nullptr);
-  }
-  if (!converged && off_diag_norm2(a) > stop)
-    throw NumericalError("hermitian_eig: Jacobi did not converge");
-
+EigResult finalize_eig(const CMat& diagonalized, const CMat& vectors, bool want_vectors) {
+  const std::size_t n = diagonalized.rows();
   EigResult res;
   res.values.resize(n);
-  for (std::size_t i = 0; i < n; ++i) res.values[i] = std::real(a(i, i));
+  for (std::size_t i = 0; i < n; ++i) res.values[i] = std::real(diagonalized(i, i));
 
   // Sort descending, permuting eigenvector columns alongside.
   std::vector<std::size_t> order(n);
@@ -112,19 +80,55 @@ EigResult run(const CMat& input, int max_sweeps, double tol, bool want_vectors) 
   if (want_vectors) {
     res.vectors = CMat(n, n);
     for (std::size_t j = 0; j < n; ++j)
-      for (std::size_t i = 0; i < n; ++i) res.vectors(i, j) = v(i, order[j]);
+      for (std::size_t i = 0; i < n; ++i) res.vectors(i, j) = vectors(i, order[j]);
   }
   return res;
 }
 
-}  // namespace
+EigResult reference_hermitian_eig(const CMat& input, const EigOptions& opt) {
+  const std::size_t n = input.rows();
+  CMat a = hermitian_part(input);  // symmetrize away round-off
+  CMat v = opt.want_vectors ? CMat::identity(n) : CMat();
+
+  const double stop =
+      detail::jacobi_stop_threshold(std::max(a.frobenius_norm(), 1e-300), n);
+
+  bool converged = false;
+  for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    if (off_diag_norm2(a) <= stop) {
+      converged = true;
+      break;
+    }
+    jacobi_sweep(a, opt.want_vectors ? &v : nullptr);
+  }
+  if (!converged && off_diag_norm2(a) > stop)
+    throw NumericalError("hermitian_eig: Jacobi did not converge");
+
+  return finalize_eig(a, v, opt.want_vectors);
+}
+
+}  // namespace detail
+
+// Public entry points: validate once, then dispatch to the active backend.
 
 EigResult hermitian_eig(const CMat& a, int max_sweeps, double hermiticity_tol) {
-  return run(a, max_sweeps, hermiticity_tol, /*want_vectors=*/true);
+  a.require_square("hermitian_eig");
+  if (!is_hermitian(a, hermiticity_tol))
+    throw std::invalid_argument("hermitian_eig: input is not Hermitian");
+  EigOptions opt;
+  opt.max_sweeps = max_sweeps;
+  opt.want_vectors = true;
+  return backend().hermitian_eig(a, opt);
 }
 
 RVec hermitian_eigenvalues(const CMat& a, int max_sweeps) {
-  return run(a, max_sweeps, 1e-9, /*want_vectors=*/false).values;
+  a.require_square("hermitian_eig");
+  if (!is_hermitian(a, 1e-9))
+    throw std::invalid_argument("hermitian_eig: input is not Hermitian");
+  EigOptions opt;
+  opt.max_sweeps = max_sweeps;
+  opt.want_vectors = false;
+  return backend().hermitian_eig(a, opt).values;
 }
 
 }  // namespace qfc::linalg

@@ -3,8 +3,11 @@
 /// \file matrix.hpp
 /// Dense row-major matrix over real or complex scalars, plus the small set
 /// of vector helpers used throughout the library. Hand-rolled on purpose:
-/// the quantum-state dimensions in this project are tiny (<= 256), so a
-/// simple, exhaustively-tested implementation beats an external dependency.
+/// the quantum-state dimensions in this project are modest (<= a few
+/// hundred), so a simple, exhaustively-tested implementation beats an
+/// external dependency. Matrix products route through the kernel-dispatch
+/// seam in backend.hpp, so large multiplies pick up the cache-blocked /
+/// threaded backend without any call-site changes.
 
 #include <complex>
 #include <cstddef>
@@ -18,11 +21,20 @@ using cplx = std::complex<double>;
 using CVec = std::vector<cplx>;
 using RVec = std::vector<double>;
 
+template <class T>
+class Mat;
+
 namespace detail {
 inline double conj_if_complex(double x) { return x; }
 inline cplx conj_if_complex(const cplx& x) { return std::conj(x); }
 inline double abs2(double x) { return x * x; }
 inline double abs2(const cplx& x) { return std::norm(x); }
+
+/// c = a·b through the active linalg backend (see backend.hpp); c must be
+/// zero-initialized (kernels may accumulate into it or overwrite it).
+/// Defined in backend.cpp for the two scalar types the library instantiates.
+template <class T>
+void gemm_dispatch(const Mat<T>& a, const Mat<T>& b, Mat<T>& c);
 }  // namespace detail
 
 /// Dense row-major matrix. T is double or std::complex<double>.
@@ -95,12 +107,20 @@ class Mat {
   friend Mat operator*(const Mat& a, const Mat& b) {
     if (a.cols_ != b.rows_) throw std::invalid_argument("Mat::mul: shape mismatch");
     Mat c(a.rows_, b.cols_);
-    for (std::size_t i = 0; i < a.rows_; ++i) {
-      for (std::size_t k = 0; k < a.cols_; ++k) {
-        const T aik = a(i, k);
-        if (aik == T{}) continue;
-        for (std::size_t j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+    // Tiny products (gates, Paulis, few-level ops) keep the fully inlined
+    // loop — the cross-TU dispatch would cost more than the flops. The loop
+    // is identical to the Reference backend's ikj kernel, so results do not
+    // depend on which side of the cutoff a product lands.
+    if (a.rows_ * a.cols_ * b.cols_ <= 4096) {
+      for (std::size_t i = 0; i < a.rows_; ++i) {
+        for (std::size_t k = 0; k < a.cols_; ++k) {
+          const T aik = a(i, k);
+          if (aik == T{}) continue;
+          for (std::size_t j = 0; j < b.cols_; ++j) c(i, j) += aik * b(k, j);
+        }
       }
+    } else {
+      detail::gemm_dispatch(a, b, c);
     }
     return c;
   }
@@ -176,6 +196,17 @@ class Mat {
 
 using CMat = Mat<cplx>;
 using RMat = Mat<double>;
+
+namespace detail {
+// The only two gemm_dispatch instantiations, defined in backend.cpp and
+// declared here so every use of operator* sees the explicit specialization
+// before implicit instantiation ([temp.expl.spec]). Other scalar types have
+// no backend and fail at link.
+template <>
+void gemm_dispatch<double>(const RMat& a, const RMat& b, RMat& c);
+template <>
+void gemm_dispatch<cplx>(const CMat& a, const CMat& b, CMat& c);
+}  // namespace detail
 
 /// Kronecker (tensor) product: (a ⊗ b)(i*rb+k, j*cb+l) = a(i,j)*b(k,l).
 template <class T>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qfc/linalg/backend.hpp"
 #include "qfc/linalg/error.hpp"
 #include "qfc/linalg/hermitian_eig.hpp"
 
@@ -11,16 +12,7 @@ namespace qfc::linalg {
 namespace {
 
 CMat rebuild(const EigResult& e, const RVec& mapped) {
-  const std::size_t n = mapped.size();
-  CMat out(n, n);
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j < n; ++j) {
-      cplx s(0, 0);
-      for (std::size_t k = 0; k < n; ++k)
-        s += e.vectors(i, k) * mapped[k] * std::conj(e.vectors(j, k));
-      out(i, j) = s;
-    }
-  return out;
+  return backend().scaled_congruence(e.vectors, mapped);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "qfc/linalg/backend.hpp"
 #include "qfc/linalg/error.hpp"
 
 namespace qfc::linalg {
@@ -34,13 +35,7 @@ void orthogonalize_columns(CMat& w, CMat& v, int max_sweeps) {
         if (mag <= threshold || mag < 1e-300) continue;
         rotated = true;
 
-        const cplx phase = apq / mag;
-        const double tau = (aqq - app) / (2.0 * mag);
-        const double t =
-            (tau >= 0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
-        const double c = 1.0 / std::sqrt(1.0 + t * t);
-        const double s = t * c;
-        const cplx sp = s * phase;
+        const auto [c, sp] = detail::jacobi_params(app, aqq, apq, mag);
 
         for (std::size_t k = 0; k < m; ++k) {
           const cplx wkp = w(k, p);
@@ -63,15 +58,16 @@ void orthogonalize_columns(CMat& w, CMat& v, int max_sweeps) {
 
 }  // namespace
 
-SvdResult svd(const CMat& a, int max_sweeps) {
-  if (a.empty()) throw std::invalid_argument("svd: empty matrix");
+namespace detail {
+
+SvdResult reference_svd(const CMat& a, int max_sweeps) {
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
 
   // Work on the orientation with fewer columns for efficiency/stability,
   // then swap factors back: A† = V Σ U†.
   if (n > m) {
-    SvdResult t = svd(a.adjoint(), max_sweeps);
+    SvdResult t = reference_svd(a.adjoint(), max_sweeps);
     return SvdResult{std::move(t.v), std::move(t.sigma), std::move(t.u)};
   }
 
@@ -110,6 +106,13 @@ SvdResult svd(const CMat& a, int max_sweeps) {
     for (std::size_t i = 0; i < n; ++i) res.v(i, j) = v(i, src);
   }
   return res;
+}
+
+}  // namespace detail
+
+SvdResult svd(const CMat& a, int max_sweeps) {
+  if (a.empty()) throw std::invalid_argument("svd: empty matrix");
+  return backend().svd(a, max_sweeps);
 }
 
 }  // namespace qfc::linalg

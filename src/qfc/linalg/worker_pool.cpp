@@ -1,0 +1,80 @@
+#include "qfc/linalg/worker_pool.hpp"
+
+namespace qfc::linalg {
+
+WorkerPool::WorkerPool(unsigned num_threads) {
+  const unsigned spawned = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(spawned);
+  for (unsigned t = 0; t < spawned; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkerPool::claim_tasks() {
+  for (std::size_t i = next_task_.fetch_add(1, std::memory_order_relaxed);
+       i < num_tasks_; i = next_task_.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      if (!failed_.exchange(true)) error_ = std::current_exception();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    claim_tasks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--busy_workers_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+
+  // One fork/join round at a time; concurrent callers queue here.
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    num_tasks_ = num_tasks;
+    fn_ = &fn;
+    next_task_.store(0, std::memory_order_relaxed);
+    failed_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    busy_workers_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  claim_tasks();
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return busy_workers_ == 0; });
+    fn_ = nullptr;
+  }
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace qfc::linalg

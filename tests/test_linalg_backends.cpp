@@ -1,0 +1,248 @@
+// Backend parity and determinism tests for the linalg kernel-dispatch seam:
+// the Blocked backend must match the Reference backend (eigenvalues,
+// singular values, GEMM entries, reconstructions) to 1e-10 on seeded random
+// inputs, and must be bitwise invariant across worker-thread counts.
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "qfc/linalg/backend.hpp"
+#include "qfc/linalg/error.hpp"
+#include "qfc/linalg/matrix.hpp"
+#include "qfc/linalg/matrix_functions.hpp"
+
+namespace {
+
+using qfc::linalg::Backend;
+using qfc::linalg::backend;
+using qfc::linalg::BackendKind;
+using qfc::linalg::CMat;
+using qfc::linalg::cplx;
+using qfc::linalg::EigOptions;
+using qfc::linalg::RMat;
+using qfc::linalg::RVec;
+
+CMat random_matrix(std::size_t r, std::size_t c, unsigned seed) {
+  std::mt19937 g(seed);
+  std::normal_distribution<double> n(0.0, 1.0);
+  CMat m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = cplx(n(g), n(g));
+  return m;
+}
+
+CMat random_hermitian(std::size_t n, unsigned seed) {
+  return qfc::linalg::hermitian_part(random_matrix(n, n, seed));
+}
+
+RMat random_real(std::size_t r, std::size_t c, unsigned seed) {
+  std::mt19937 g(seed);
+  std::normal_distribution<double> n(0.0, 1.0);
+  RMat m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = n(g);
+  return m;
+}
+
+double max_abs_diff(const CMat& a, const CMat& b) { return (a - b).max_abs(); }
+
+/// Restores the default backend and thread request on scope exit so tests
+/// cannot leak configuration into each other (or clobber an operator's
+/// QFC_LINALG_THREADS setting).
+struct BackendGuard {
+  BackendKind kind = qfc::linalg::default_backend();
+  unsigned threads = qfc::linalg::backend_thread_request();
+  ~BackendGuard() {
+    qfc::linalg::set_default_backend(kind);
+    qfc::linalg::set_backend_threads(threads);
+  }
+};
+
+// ------------------------------------------------------------- dispatch
+
+TEST(BackendDispatch, NamesAndSelection) {
+  BackendGuard guard;
+  EXPECT_STREQ(backend(BackendKind::Reference).name(), "reference");
+  EXPECT_STREQ(backend(BackendKind::Blocked).name(), "blocked");
+  EXPECT_STREQ(qfc::linalg::to_string(BackendKind::Blocked), "blocked");
+
+  qfc::linalg::set_default_backend(BackendKind::Blocked);
+  EXPECT_EQ(qfc::linalg::default_backend(), BackendKind::Blocked);
+  EXPECT_STREQ(backend().name(), "blocked");
+}
+
+TEST(BackendDispatch, ParsesEnvStyleNames) {
+  using qfc::linalg::detail::parse_backend;
+  EXPECT_EQ(parse_backend("reference"), BackendKind::Reference);
+  EXPECT_EQ(parse_backend("REF"), BackendKind::Reference);
+  EXPECT_EQ(parse_backend("Blocked"), BackendKind::Blocked);
+  EXPECT_EQ(parse_backend("lapack"), std::nullopt);
+  EXPECT_EQ(parse_backend(""), std::nullopt);
+}
+
+TEST(BackendDispatch, OperatorStarRoutesThroughActiveBackend) {
+  BackendGuard guard;
+  const CMat a = random_matrix(60, 44, 11);
+  const CMat b = random_matrix(44, 52, 12);
+  qfc::linalg::set_default_backend(BackendKind::Reference);
+  const CMat ref = a * b;
+  qfc::linalg::set_default_backend(BackendKind::Blocked);
+  const CMat blk = a * b;
+  EXPECT_LT(max_abs_diff(ref, blk), 1e-10);
+}
+
+// ---------------------------------------------------------------- GEMM
+
+TEST(BackendParity, GemmComplex) {
+  const auto& ref = backend(BackendKind::Reference);
+  const auto& blk = backend(BackendKind::Blocked);
+  // Spans the naive-fallback cutoff and odd shapes on both sides of it.
+  const std::size_t shapes[][3] = {{8, 8, 8}, {33, 47, 29}, {70, 50, 90}, {128, 64, 128}};
+  for (const auto& s : shapes) {
+    const CMat a = random_matrix(s[0], s[1], 100 + static_cast<unsigned>(s[0]));
+    const CMat b = random_matrix(s[1], s[2], 200 + static_cast<unsigned>(s[2]));
+    CMat cr(s[0], s[2]), cb(s[0], s[2]);
+    ref.gemm(a, b, cr);
+    blk.gemm(a, b, cb);
+    EXPECT_LT(max_abs_diff(cr, cb), 1e-10) << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(BackendParity, GemmReal) {
+  const RMat a = random_real(65, 80, 5);
+  const RMat b = random_real(80, 77, 6);
+  RMat cr(65, 77), cb(65, 77);
+  backend(BackendKind::Reference).gemm(a, b, cr);
+  backend(BackendKind::Blocked).gemm(a, b, cb);
+  EXPECT_LT((cr - cb).max_abs(), 1e-10);
+}
+
+// ----------------------------------------------------------------- eig
+
+TEST(BackendParity, HermitianEigValuesAndReconstruction) {
+  const EigOptions opt;
+  for (const std::size_t n : {24u, 48u, 96u}) {
+    const CMat a = random_hermitian(n, 300 + static_cast<unsigned>(n));
+    const auto er = backend(BackendKind::Reference).hermitian_eig(a, opt);
+    const auto eb = backend(BackendKind::Blocked).hermitian_eig(a, opt);
+    ASSERT_EQ(er.values.size(), n);
+    ASSERT_EQ(eb.values.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(er.values[i], eb.values[i], 1e-10) << "n=" << n << " i=" << i;
+
+    // Eigenvectors are only unique up to phase/degenerate mixing; compare
+    // the reconstruction V diag(λ) V† instead.
+    const CMat rec = backend(BackendKind::Blocked).scaled_congruence(eb.vectors, eb.values);
+    EXPECT_LT(max_abs_diff(rec, a), 1e-10) << "n=" << n;
+    EXPECT_TRUE(qfc::linalg::is_unitary(eb.vectors, 1e-10)) << "n=" << n;
+  }
+}
+
+TEST(BackendParity, EigenvaluesOnlyPathMatches) {
+  const CMat a = random_hermitian(64, 7);
+  EigOptions no_vec;
+  no_vec.want_vectors = false;
+  const auto vr = backend(BackendKind::Reference).hermitian_eig(a, no_vec).values;
+  const auto vb = backend(BackendKind::Blocked).hermitian_eig(a, no_vec).values;
+  for (std::size_t i = 0; i < vr.size(); ++i) EXPECT_NEAR(vr[i], vb[i], 1e-10);
+}
+
+// ----------------------------------------------------------------- SVD
+
+TEST(BackendParity, SvdRectangular) {
+  // Tall, wide, and square — the wide case exercises the adjoint swap.
+  const std::size_t shapes[][2] = {{64, 48}, {48, 64}, {60, 60}};
+  for (const auto& s : shapes) {
+    const CMat a = random_matrix(s[0], s[1], 400 + static_cast<unsigned>(s[0]));
+    const auto sr = backend(BackendKind::Reference).svd(a, 96);
+    const auto sb = backend(BackendKind::Blocked).svd(a, 96);
+    ASSERT_EQ(sr.sigma.size(), sb.sigma.size());
+    for (std::size_t i = 0; i < sr.sigma.size(); ++i)
+      EXPECT_NEAR(sr.sigma[i], sb.sigma[i], 1e-10) << s[0] << "x" << s[1] << " i=" << i;
+
+    // U Σ V† must reproduce A.
+    CMat us = sb.u;
+    for (std::size_t i = 0; i < us.rows(); ++i)
+      for (std::size_t j = 0; j < us.cols(); ++j) us(i, j) *= sb.sigma[j];
+    CMat rec(a.rows(), a.cols());
+    backend(BackendKind::Blocked).gemm(us, sb.v.adjoint(), rec);
+    EXPECT_LT(max_abs_diff(rec, a), 1e-10) << s[0] << "x" << s[1];
+  }
+}
+
+// ------------------------------------------------- scaled congruence
+
+TEST(BackendParity, ScaledCongruence) {
+  const std::size_t n = 72;
+  const CMat v = backend(BackendKind::Reference).hermitian_eig(random_hermitian(n, 9), {}).vectors;
+  RVec d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = std::sin(0.3 * static_cast<double>(i + 1));
+  const CMat r = backend(BackendKind::Reference).scaled_congruence(v, d);
+  const CMat b = backend(BackendKind::Blocked).scaled_congruence(v, d);
+  EXPECT_LT(max_abs_diff(r, b), 1e-10);
+  // Hermitian to round-off (the (i,j)/(j,i) triple products round
+  // independently, so bitwise symmetry is not guaranteed — same as the
+  // reference loop).
+  EXPECT_TRUE(qfc::linalg::is_hermitian(b, 1e-12));
+}
+
+// ----------------------------------------------- thread-count invariance
+
+TEST(BackendDeterminism, BitwiseIdenticalAcrossThreadCounts) {
+  BackendGuard guard;
+  const CMat h = random_hermitian(80, 21);
+  const CMat r = random_matrix(96, 56, 22);
+  const CMat ga = random_matrix(90, 70, 23);
+  const CMat gb = random_matrix(70, 85, 24);
+  const auto& blk = backend(BackendKind::Blocked);
+
+  qfc::linalg::set_backend_threads(1);
+  const auto eig1 = blk.hermitian_eig(h, {});
+  const auto svd1 = blk.svd(r, 96);
+  CMat gemm1(90, 85);
+  blk.gemm(ga, gb, gemm1);
+
+  for (const unsigned threads : {2u, 4u}) {
+    qfc::linalg::set_backend_threads(threads);
+    EXPECT_EQ(qfc::linalg::backend_threads(), threads);
+    const auto eig = blk.hermitian_eig(h, {});
+    const auto svd = blk.svd(r, 96);
+    CMat gemm(90, 85);
+    blk.gemm(ga, gb, gemm);
+
+    // Bitwise, not approximate: operator== compares every scalar exactly.
+    EXPECT_EQ(eig1.values, eig.values) << threads << " threads";
+    EXPECT_EQ(eig1.vectors, eig.vectors) << threads << " threads";
+    EXPECT_EQ(svd1.sigma, svd.sigma) << threads << " threads";
+    EXPECT_EQ(svd1.u, svd.u) << threads << " threads";
+    EXPECT_EQ(svd1.v, svd.v) << threads << " threads";
+    EXPECT_EQ(gemm1, gemm) << threads << " threads";
+  }
+}
+
+// ------------------------------------------------- consumers stay green
+
+TEST(BackendIntegration, MatrixFunctionsUnderBlockedBackend) {
+  BackendGuard guard;
+  qfc::linalg::set_default_backend(BackendKind::Blocked);
+  const std::size_t n = 48;
+  CMat a = random_hermitian(n, 31);
+  CMat aa(n, n);
+  backend().gemm(a, a, aa);  // a² is PSD with a well-defined square root
+  const CMat root = qfc::linalg::sqrtm_psd(aa);
+  CMat square(n, n);
+  backend().gemm(root, root, square);
+  EXPECT_LT(max_abs_diff(square, aa), 1e-8);
+}
+
+TEST(BackendIntegration, ValidationStillAppliesUnderBlockedBackend) {
+  BackendGuard guard;
+  qfc::linalg::set_default_backend(BackendKind::Blocked);
+  CMat not_hermitian = random_matrix(50, 50, 41);
+  EXPECT_THROW(qfc::linalg::hermitian_eig(not_hermitian), std::invalid_argument);
+  EXPECT_THROW(qfc::linalg::svd(CMat()), std::invalid_argument);
+}
+
+}  // namespace
