@@ -1,12 +1,15 @@
 // Perf bench for the batched columnar event engine: full n-channel-pair
 // CAR (coincidence) matrix, legacy per-channel path (per-channel streams +
 // n² pairwise measure_car re-scans) vs EventEngine + single merge-sweep
-// car_matrix. Also checks that the two paths produce identical cells and
-// that the engine output is bitwise invariant across thread counts.
+// car_matrix, plus engine-only rows for the pulsed and piecewise-rate
+// emission modes. Also checks that the two CW paths produce identical
+// cells and that every emission mode is bitwise invariant across thread
+// counts.
 //
-// Usage: bench_event_engine [--smoke] [--json PATH]
+// Usage: bench_event_engine [--smoke] [--json PATH] [--help]
 //   --smoke   smaller durations / channel counts (CI)
-//   --json    write machine-readable results (default BENCH_event_engine.json)
+//   --json    write machine-readable results (default BENCH_event_engine.json;
+//             gated in CI by scripts/check_bench.py — see --help)
 
 #include <chrono>
 #include <cstdio>
@@ -44,6 +47,45 @@ std::vector<detect::ChannelPairSpec> make_specs(int n) {
     s.detector_signal.dead_time_s = 10e-6;
     s.detector_idler = s.detector_signal;
     specs.push_back(s);
+  }
+  return specs;
+}
+
+/// Pulsed double-pulse emission at the same mean pair rate and detector
+/// chain as make_specs, locked to a 16.8 MHz train with early/late bins.
+std::vector<detect::ChannelPairSpec> make_pulsed_specs(int n) {
+  auto specs = make_specs(n);
+  for (auto& s : specs) {
+    s.emission = detect::EmissionMode::Pulsed;
+    s.pulsed.repetition_rate_hz = 16.8e6;
+    s.pulsed.mean_pairs_per_pulse = s.pair_rate_hz / s.pulsed.repetition_rate_hz;
+    s.pulsed.bin_separation_s = 20e-9;
+    s.pulsed.pulse_sigma_s = 1.5e-9;
+    s.pair_rate_hz = 0;
+  }
+  return specs;
+}
+
+/// Drifting-source schedule: 8 segments ramping the pair rate 0.5x..1.5x
+/// around make_specs' mean, with background/dark drift riding along.
+std::vector<detect::ChannelPairSpec> make_piecewise_specs(int n, double duration_s) {
+  auto specs = make_specs(n);
+  const int num_segments = 8;
+  for (auto& s : specs) {
+    s.emission = detect::EmissionMode::PiecewiseRates;
+    const double base = s.pair_rate_hz;
+    s.pair_rate_hz = 0;
+    for (int i = 0; i < num_segments; ++i) {
+      const double x = static_cast<double>(i) / (num_segments - 1);  // 0..1 ramp
+      detect::RateSegment seg;
+      seg.duration_s = duration_s / num_segments;
+      seg.pair_rate_hz = base * (0.5 + x);
+      seg.background_rate_signal_hz = 4e3 * x;
+      seg.background_rate_idler_hz = 4e3 * (1.0 - x);
+      seg.dark_rate_signal_hz = 2e3 * x;
+      seg.dark_rate_idler_hz = 2e3 * x;
+      s.segments.push_back(seg);
+    }
   }
   return specs;
 }
@@ -110,6 +152,41 @@ struct Row {
   bool identical = false;
 };
 
+/// Engine-only row for the pulsed / piecewise emission modes (no legacy
+/// path exists for them): run time plus a per-row thread-count
+/// determinism check (1 vs 4 workers, bitwise).
+struct ModeRow {
+  const char* emission = "";
+  int n = 0;
+  double engine_ms = 0;
+  bool deterministic = false;
+};
+
+ModeRow bench_mode(const char* emission, const std::vector<detect::ChannelPairSpec>& specs,
+                   double duration_s) {
+  detect::EngineConfig ec;
+  ec.duration_s = duration_s;
+  ec.seed = kSeed;
+
+  ec.num_threads = 0;
+  auto t0 = Clock::now();
+  const detect::EngineResult events = detect::EventEngine(ec).run(specs);
+  detect::car_matrix(events.signal, events.idler, kWindow, kSpacing);
+  const double engine_ms = ms_since(t0);
+
+  ec.num_threads = 1;
+  const auto r1 = detect::EventEngine(ec).run(specs);
+  ec.num_threads = 4;
+  const auto r4 = detect::EventEngine(ec).run(specs);
+
+  ModeRow row;
+  row.emission = emission;
+  row.n = static_cast<int>(specs.size());
+  row.engine_ms = engine_ms;
+  row.deterministic = r1.signal == r4.signal && r1.idler == r4.idler;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,13 +248,33 @@ int main(int argc, char** argv) {
   std::printf("thread-count determinism (1 vs 4 threads): %s\n",
               deterministic ? "bitwise identical" : "MISMATCH");
 
+  // Emission-mode rows: pulsed (double-pulse train) and piecewise-rate
+  // (drifting source) engine runs, each with its own determinism check.
+  std::printf("\n%10s %6s %12s %14s\n", "emission", "n", "engine[ms]", "deterministic");
+  std::vector<ModeRow> mode_rows;
+  bool modes_deterministic = true;
+  for (const int n : channel_counts) {
+    mode_rows.push_back(bench_mode("pulsed", make_pulsed_specs(n), duration_s));
+    mode_rows.push_back(
+        bench_mode("piecewise", make_piecewise_specs(n, duration_s), duration_s));
+  }
+  for (const ModeRow& r : mode_rows) {
+    modes_deterministic = modes_deterministic && r.deterministic;
+    std::printf("%10s %6d %12.1f %14s\n", r.emission, r.n, r.engine_ms,
+                r.deterministic ? "yes" : "NO");
+  }
+
   std::vector<std::string> json_rows;
-  json_rows.reserve(rows.size());
+  json_rows.reserve(rows.size() + mode_rows.size());
   for (const Row& r : rows)
     json_rows.push_back(bench::format(
-        "{\"n\": %d, \"legacy_ms\": %.3f, \"engine_ms\": %.3f, "
+        "{\"emission\": \"cw\", \"n\": %d, \"legacy_ms\": %.3f, \"engine_ms\": %.3f, "
         "\"speedup\": %.3f, \"identical\": %s}",
         r.n, r.legacy_ms, r.engine_ms, r.speedup, r.identical ? "true" : "false"));
+  for (const ModeRow& r : mode_rows)
+    json_rows.push_back(bench::format(
+        "{\"emission\": \"%s\", \"n\": %d, \"engine_ms\": %.3f, \"deterministic\": %s}",
+        r.emission, r.n, r.engine_ms, r.deterministic ? "true" : "false"));
   bench::write_json(json_path, "event_engine", smoke, json_rows,
                     {bench::format("\"duration_s\": %.3f", duration_s),
                      bench::format("\"speedup_n10\": %.3f", speedup_n10),
@@ -185,12 +282,14 @@ int main(int argc, char** argv) {
                                    deterministic ? "true" : "false")});
 
   // Exit code gates on correctness only (cell identity + thread-count
-  // determinism); the speedup target is reported but not allowed to fail
-  // CI on a noisy shared runner.
-  const bool correct = all_identical && deterministic;
+  // determinism in every emission mode); the speedup target is reported
+  // but not allowed to fail CI on a noisy shared runner.
+  const bool correct = all_identical && deterministic && modes_deterministic;
   const bool ok = correct && speedup_n10 >= 5.0;
   bench::verdict(ok, "n=10 speedup " + std::to_string(speedup_n10) + "x, cells " +
                          (all_identical ? "identical" : "DIFFER") + ", " +
-                         (deterministic ? "thread-invariant" : "NOT thread-invariant"));
+                         (deterministic && modes_deterministic
+                              ? "thread-invariant (all emission modes)"
+                              : "NOT thread-invariant"));
   return correct ? 0 : 1;
 }

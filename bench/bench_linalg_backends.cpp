@@ -5,9 +5,10 @@
 // which gate the exit code; the speedup is reported but never fails CI on
 // a noisy or single-core runner.
 //
-// Usage: bench_linalg_backends [--smoke] [--json PATH]
+// Usage: bench_linalg_backends [--smoke] [--json PATH] [--help]
 //   --smoke   smaller dimension sweep (CI)
-//   --json    write machine-readable results (default BENCH_linalg.json)
+//   --json    write machine-readable results (default BENCH_linalg.json;
+//             gated in CI by scripts/check_bench.py — see --help)
 
 #include <chrono>
 #include <cmath>

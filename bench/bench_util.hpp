@@ -7,6 +7,7 @@
 // so their BENCH_*.json trajectories stay schema-compatible run over run.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,7 +26,10 @@ inline void verdict(bool ok, const std::string& detail) {
   std::printf("[%s] %s\n\n", ok ? "PASS" : "CHECK", detail.c_str());
 }
 
-/// Shared `[--smoke] [--json PATH]` parsing for the perf benches.
+/// Shared `[--smoke] [--json PATH] [--help]` parsing for the perf benches.
+/// The --json default is the repo-root baseline name committed for this
+/// bench (BENCH_<name>.json); CI regenerates a fresh copy under build/ and
+/// gates merges with scripts/check_bench.py against the committed file.
 struct Flags {
   bool smoke = false;
   std::string json_path;
@@ -35,6 +39,19 @@ inline Flags parse_flags(int argc, char** argv, const char* default_json) {
   Flags f;
   f.json_path = default_json;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: %s [--smoke] [--json PATH]\n"
+          "  --smoke      reduced sweep for CI smoke runs\n"
+          "  --json PATH  write the machine-readable result envelope\n"
+          "               (default: %s — the committed repo-root baseline name;\n"
+          "               CI writes a fresh copy under build/ and gates merges\n"
+          "               with scripts/check_bench.py, which fails on a >35%%\n"
+          "               per-row slowdown vs the committed baseline or on any\n"
+          "               identical/match/deterministic flag going false)\n",
+          argv[0], default_json);
+      std::exit(0);
+    }
     if (std::strcmp(argv[i], "--smoke") == 0) f.smoke = true;
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) f.json_path = argv[++i];
   }

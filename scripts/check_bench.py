@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the BENCH_*.json envelopes.
+
+Compares a freshly produced bench JSON against the committed baseline and
+fails (exit 1) when:
+
+  * any row matched between baseline and candidate slowed down by more than
+    --max-slowdown (default 0.35 = 35%) on any ``*_ms`` field whose baseline
+    value is at least --min-ms (tiny rows are all timer noise), or
+  * any correctness flag (``identical``, ``match``, ``deterministic``) is
+    false in the candidate — per row or top-level, regardless of the
+    baseline, or
+  * a baseline row has no matching candidate row (coverage regression).
+
+Rows are matched on the stable identity fields (``kernel``, ``emission``,
+``n``); extra candidate rows (new coverage) only warn. Speedups and extra
+fields are ignored. stdlib only — runs anywhere python3 exists.
+
+Usage:
+  scripts/check_bench.py BASELINE CANDIDATE [--max-slowdown 0.35] [--min-ms 1.0]
+
+CI wiring (.github/workflows/ci.yml, ``bench`` job): the smoke benches write
+fresh envelopes under build/ and this script gates them against the
+committed repo-root baselines. The same knob is documented in the benches'
+``--help``.
+"""
+
+import argparse
+import json
+import sys
+
+KEY_FIELDS = ("kernel", "emission", "mode", "n")
+FLAG_FIELDS = ("identical", "match", "deterministic")
+
+
+def row_key(row):
+    return tuple((k, row[k]) for k in KEY_FIELDS if k in row)
+
+
+def fmt_key(key):
+    return ", ".join(f"{k}={v}" for k, v in key) or "<unkeyed>"
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"check_bench: cannot read {path}: {e}")
+    if "rows" not in doc or not isinstance(doc["rows"], list):
+        sys.exit(f"check_bench: {path} has no rows array")
+    return doc
+
+
+def check(baseline_path, candidate_path, max_slowdown, min_ms):
+    base = load(baseline_path)
+    cand = load(candidate_path)
+    errors = []
+    warnings = []
+
+    cand_rows = {}
+    for row in cand["rows"]:
+        cand_rows[row_key(row)] = row
+
+    # Correctness flags must hold in the candidate no matter what the
+    # baseline says — a flipped flag is a bug, not a perf regression.
+    for name in FLAG_FIELDS:
+        if cand.get(name) is False:
+            errors.append(f"top-level flag '{name}' is false in {candidate_path}")
+    for key, row in cand_rows.items():
+        for name in FLAG_FIELDS:
+            if row.get(name) is False:
+                errors.append(f"row [{fmt_key(key)}]: flag '{name}' is false")
+
+    matched = 0
+    for brow in base["rows"]:
+        key = row_key(brow)
+        crow = cand_rows.get(key)
+        if crow is None:
+            errors.append(f"row [{fmt_key(key)}] missing from {candidate_path}")
+            continue
+        matched += 1
+        for field, bval in brow.items():
+            if not field.endswith("_ms") or not isinstance(bval, (int, float)):
+                continue
+            cval = crow.get(field)
+            if not isinstance(cval, (int, float)):
+                continue
+            if bval < min_ms:
+                continue  # sub-threshold rows are timer noise
+            slowdown = cval / bval - 1.0
+            if slowdown > max_slowdown:
+                errors.append(
+                    f"row [{fmt_key(key)}]: {field} {bval:.3f} -> {cval:.3f} ms "
+                    f"(+{100.0 * slowdown:.0f}% > {100.0 * max_slowdown:.0f}%)"
+                )
+
+    base_keys = {row_key(r) for r in base["rows"]}
+    for key in cand_rows:
+        if key not in base_keys:
+            warnings.append(f"row [{fmt_key(key)}] is new (not in baseline)")
+
+    name = base.get("bench", baseline_path)
+    for w in warnings:
+        print(f"check_bench[{name}]: warning: {w}")
+    for e in errors:
+        print(f"check_bench[{name}]: FAIL: {e}")
+    if not errors:
+        print(
+            f"check_bench[{name}]: OK — {matched} matched rows within "
+            f"{100.0 * max_slowdown:.0f}% of baseline, all flags true"
+        )
+    return not errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("candidate", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=0.35,
+        help="maximum allowed per-row relative slowdown (default 0.35 = 35%%)",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=1.0,
+        help="ignore *_ms fields whose baseline value is below this (noise floor)",
+    )
+    args = parser.parse_args()
+    ok = check(args.baseline, args.candidate, args.max_slowdown, args.min_ms)
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -45,13 +45,16 @@ struct StabilityComparison {
   StabilityTrace external;
 };
 
-/// Counting-statistics form of a stability run: Poisson-sampled detected
-/// pair counts per sample interval on top of the drifting relative rate,
-/// plus the overlapping Allan deviation of the fractional count series —
-/// the metrology-grade statement of the "< 5% for weeks" claim.
+/// Counting-statistics form of a stability run, derived from raw engine
+/// click streams: the drifting relative rate becomes a piecewise-constant
+/// emission schedule (detect::EmissionMode::PiecewiseRates, one
+/// RateSegment per sample interval), the engine generates the signal/idler
+/// click streams, and the per-interval counts are windowed coincidences of
+/// those clicks. The overlapping Allan deviation of the fractional count
+/// series is the metrology-grade statement of the "< 5% for weeks" claim.
 struct CountedStabilityTrace {
   StabilityTrace trace;                   ///< underlying relative-rate series
-  std::vector<double> counts;             ///< detected pairs per interval
+  std::vector<double> counts;             ///< coincidences per interval, from clicks
   std::vector<detect::AllanPoint> allan;  ///< of counts / mean(counts)
   double mean_counts = 0;
 };
@@ -64,9 +67,16 @@ class StabilityExperiment {
   StabilityComparison run();
 
   /// Counting-statistics run of one scheme: the scheme's relative-rate
-  /// trace drives a Poisson count per sample interval at the given mean
-  /// on-resonance coincidence rate, and the fractional counts go through
-  /// the overlapping Allan deviation.
+  /// trace becomes a drifting PiecewiseRates emission schedule (pair rate
+  /// = mean on-resonance coincidence rate x relative rate per interval),
+  /// the event engine generates the click streams with ideal collection
+  /// (unit efficiency, no darks — the counted quantity is the coincidence
+  /// rate itself), each sample interval's count is the windowed
+  /// signal-idler coincidence count of the raw clicks, and the fractional
+  /// counts go through the overlapping Allan deviation. Long observations
+  /// are generated in bounded chunks of intervals so click-table memory
+  /// stays flat; the chunking is fixed, so results are deterministic in
+  /// cfg.seed.
   CountedStabilityTrace run_counted_scheme(photonics::PumpLocking locking,
                                            double mean_coincidence_rate_hz);
 

@@ -24,7 +24,17 @@ SinglePhotonDetector::SinglePhotonDetector(DetectorParams params) : params_(para
 std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arrivals,
                                                  double duration_s,
                                                  rng::Xoshiro256& g) const {
+  static const std::vector<double> no_extra_darks;
+  return detect(arrivals, no_extra_darks, duration_s, g);
+}
+
+std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arrivals,
+                                                 const std::vector<double>& extra_darks,
+                                                 double duration_s,
+                                                 rng::Xoshiro256& g) const {
   if (duration_s <= 0) throw std::invalid_argument("detect: duration <= 0");
+  if (!std::is_sorted(extra_darks.begin(), extra_darks.end()))
+    throw std::invalid_argument("detect: extra dark clicks unsorted");
 
   std::vector<double> clicks;
   clicks.reserve(arrivals.size() / 4 + 16);
@@ -48,6 +58,15 @@ std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arri
     const auto darks = generate_poisson_arrivals(params_.dark_rate_hz, duration_s, g);
     std::vector<double> merged(clicks.size() + darks.size());
     std::merge(clicks.begin(), clicks.end(), darks.begin(), darks.end(),
+               merged.begin());
+    clicks.swap(merged);
+  }
+
+  // Caller-supplied darks (piecewise-rate schedules): direct click times,
+  // merged like the internal homogeneous pass above.
+  if (!extra_darks.empty()) {
+    std::vector<double> merged(clicks.size() + extra_darks.size());
+    std::merge(clicks.begin(), clicks.end(), extra_darks.begin(), extra_darks.end(),
                merged.begin());
     clicks.swap(merged);
   }

@@ -38,6 +38,15 @@ class SinglePhotonDetector {
   std::vector<double> detect(const std::vector<double>& photon_arrivals_s,
                              double duration_s, rng::Xoshiro256& g) const;
 
+  /// As detect(), but additionally merges caller-supplied dark click times
+  /// (sorted, e.g. from a piecewise-rate schedule) into the stream before
+  /// dead time. The extra darks click directly — no efficiency thinning,
+  /// no jitter — exactly like the internal params().dark_rate_hz pass,
+  /// which still runs and composes additively with them.
+  std::vector<double> detect(const std::vector<double>& photon_arrivals_s,
+                             const std::vector<double>& extra_dark_clicks_s,
+                             double duration_s, rng::Xoshiro256& g) const;
+
   /// Expected singles rate for a given true photon rate (analytic; ignores
   /// dead-time saturation which is negligible at the rates simulated here).
   double expected_singles_rate_hz(double photon_rate_hz) const;

@@ -64,26 +64,78 @@ EventEngine::EventEngine(EngineConfig cfg) : cfg_(cfg) {
     throw std::invalid_argument("EngineConfig: negative thread count");
 }
 
+namespace {
+
+/// Per-channel generation plan, fully validated before any parallel work.
+struct ChannelPlan {
+  EmissionMode mode = EmissionMode::Cw;
+  PairStreamParams cw;
+  PulsedStreamParams pulsed;
+  PiecewiseStreamParams piecewise;
+};
+
+ChannelPlan make_plan(const ChannelPairSpec& spec, double duration_s) {
+  ChannelPlan plan;
+  plan.mode = spec.emission;
+  switch (spec.emission) {
+    case EmissionMode::Cw:
+      plan.cw.pair_rate_hz = spec.pair_rate_hz;
+      plan.cw.linewidth_hz = spec.linewidth_hz;
+      plan.cw.duration_s = duration_s;
+      plan.cw.transmission_a = spec.transmission_signal;
+      plan.cw.transmission_b = spec.transmission_idler;
+      plan.cw.validate();
+      break;
+    case EmissionMode::Pulsed:
+      if (spec.pair_rate_hz != 0)
+        throw std::invalid_argument(
+            "ChannelPairSpec: Pulsed mode needs pair_rate_hz == 0 (the rate is "
+            "mean_pairs_per_pulse x repetition_rate_hz)");
+      plan.pulsed.repetition_rate_hz = spec.pulsed.repetition_rate_hz;
+      plan.pulsed.mean_pairs_per_pulse = spec.pulsed.mean_pairs_per_pulse;
+      plan.pulsed.pulse_sigma_s = spec.pulsed.pulse_sigma_s;
+      plan.pulsed.bin_separation_s = spec.pulsed.bin_separation_s;
+      plan.pulsed.late_fraction = spec.pulsed.late_fraction;
+      plan.pulsed.linewidth_hz = spec.linewidth_hz;
+      plan.pulsed.duration_s = duration_s;
+      plan.pulsed.transmission_a = spec.transmission_signal;
+      plan.pulsed.transmission_b = spec.transmission_idler;
+      plan.pulsed.validate();
+      break;
+    case EmissionMode::PiecewiseRates:
+      if (spec.pair_rate_hz != 0)
+        throw std::invalid_argument(
+            "ChannelPairSpec: PiecewiseRates mode needs pair_rate_hz == 0 (the "
+            "segments carry the pair rate)");
+      plan.piecewise.segments = spec.segments;
+      plan.piecewise.linewidth_hz = spec.linewidth_hz;
+      plan.piecewise.duration_s = duration_s;
+      plan.piecewise.transmission_a = spec.transmission_signal;
+      plan.piecewise.transmission_b = spec.transmission_idler;
+      plan.piecewise.validate();
+      break;
+  }
+  return plan;
+}
+
+}  // namespace
+
 EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) const {
   const std::size_t n = channels.size();
 
   // Validate and pre-fork everything serially, in channel order, so the
   // parallel section below is schedule-independent: channel c's results
   // depend only on gens[c], never on which thread ran it or when.
-  std::vector<PairStreamParams> params(n);
+  std::vector<ChannelPlan> plans;
   std::vector<SinglePhotonDetector> det_s, det_i;
+  plans.reserve(n);
   det_s.reserve(n);
   det_i.reserve(n);
   for (std::size_t c = 0; c < n; ++c) {
     const ChannelPairSpec& spec = channels[c];
     if (spec.background_rate_signal_hz < 0 || spec.background_rate_idler_hz < 0)
       throw std::invalid_argument("ChannelPairSpec: negative background rate");
-    params[c].pair_rate_hz = spec.pair_rate_hz;
-    params[c].linewidth_hz = spec.linewidth_hz;
-    params[c].duration_s = cfg_.duration_s;
-    params[c].transmission_a = spec.transmission_signal;
-    params[c].transmission_b = spec.transmission_idler;
-    params[c].validate();
+    plans.push_back(make_plan(spec, cfg_.duration_s));
     det_s.emplace_back(spec.detector_signal);
     det_i.emplace_back(spec.detector_idler);
   }
@@ -99,22 +151,59 @@ EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) cons
   const auto process_channel = [&](std::size_t c) {
     rng::Xoshiro256& g = gens[c];
     const ChannelPairSpec& spec = channels[c];
-    PairStreams photons = generate_pair_arrivals(params[c], g);
+    const ChannelPlan& plan = plans[c];
+
+    PairStreams photons;
+    switch (plan.mode) {
+      case EmissionMode::Cw:
+        photons = generate_pair_arrivals(plan.cw, g);
+        break;
+      case EmissionMode::Pulsed:
+        photons = generate_pulsed_pair_arrivals(plan.pulsed, g);
+        break;
+      case EmissionMode::PiecewiseRates:
+        photons = generate_piecewise_pair_arrivals(plan.piecewise, g);
+        break;
+    }
 
     // Both the pair arrivals and the background stream are sorted, so a
     // linear merge suffices (same pattern as the detector's dark pass).
-    const auto inject = [&](std::vector<double>& arm, double rate_hz) {
-      if (rate_hz <= 0) return;
-      const auto bg = generate_poisson_arrivals(rate_hz, cfg_.duration_s, g);
+    const auto merge_into = [](std::vector<double>& arm, const std::vector<double>& bg) {
+      if (bg.empty()) return;
       std::vector<double> merged(arm.size() + bg.size());
       std::merge(arm.begin(), arm.end(), bg.begin(), bg.end(), merged.begin());
       arm.swap(merged);
     };
+    const auto inject = [&](std::vector<double>& arm, double rate_hz) {
+      if (rate_hz <= 0) return;
+      merge_into(arm, generate_poisson_arrivals(rate_hz, cfg_.duration_s, g));
+    };
+    // Fixed per-channel RNG order (documented in the README): spec-level
+    // homogeneous backgrounds first (identical to Cw mode), then the
+    // piecewise background segments, then per-arm darks + detection.
     inject(photons.a, spec.background_rate_signal_hz);
     inject(photons.b, spec.background_rate_idler_hz);
-
-    sig_cols[c] = det_s[c].detect(photons.a, cfg_.duration_s, g);
-    idl_cols[c] = det_i[c].detect(photons.b, cfg_.duration_s, g);
+    if (plan.mode == EmissionMode::PiecewiseRates) {
+      merge_into(photons.a, generate_piecewise_poisson_arrivals(
+                                plan.piecewise.segments,
+                                &RateSegment::background_rate_signal_hz,
+                                cfg_.duration_s, g));
+      merge_into(photons.b, generate_piecewise_poisson_arrivals(
+                                plan.piecewise.segments,
+                                &RateSegment::background_rate_idler_hz,
+                                cfg_.duration_s, g));
+      const auto darks_s = generate_piecewise_poisson_arrivals(
+          plan.piecewise.segments, &RateSegment::dark_rate_signal_hz, cfg_.duration_s,
+          g);
+      sig_cols[c] = det_s[c].detect(photons.a, darks_s, cfg_.duration_s, g);
+      const auto darks_i = generate_piecewise_poisson_arrivals(
+          plan.piecewise.segments, &RateSegment::dark_rate_idler_hz, cfg_.duration_s,
+          g);
+      idl_cols[c] = det_i[c].detect(photons.b, darks_i, cfg_.duration_s, g);
+    } else {
+      sig_cols[c] = det_s[c].detect(photons.a, cfg_.duration_s, g);
+      idl_cols[c] = det_i[c].detect(photons.b, cfg_.duration_s, g);
+    }
   };
 
   unsigned num_threads = cfg_.num_threads > 0

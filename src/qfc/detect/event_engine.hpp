@@ -24,6 +24,7 @@
 
 #include "qfc/detect/coincidence.hpp"
 #include "qfc/detect/detector.hpp"
+#include "qfc/detect/event_stream.hpp"
 
 namespace qfc::detect {
 
@@ -51,9 +52,36 @@ struct EventTable {
   bool operator==(const EventTable&) const = default;
 };
 
+/// How a channel pair's emission is distributed in time.
+enum class EmissionMode {
+  /// Homogeneous Poisson pair times at ChannelPairSpec::pair_rate_hz —
+  /// the original engine behavior, bit-for-bit unchanged.
+  Cw,
+  /// Pair times locked to a pump pulse train (ChannelPairSpec::pulsed):
+  /// per-pulse Poisson pair number, Gaussian envelope jitter, optional
+  /// early/late double-pulse bins. pair_rate_hz must be 0 in this mode.
+  Pulsed,
+  /// Piecewise-constant pair/background/dark schedule
+  /// (ChannelPairSpec::segments) for drifting sources. pair_rate_hz must
+  /// be 0; spec-level backgrounds and detector dark rates stay active and
+  /// compose additively with the per-segment rates.
+  PiecewiseRates,
+};
+
+/// Pulse-train parameters consumed when emission == EmissionMode::Pulsed
+/// (see PulsedStreamParams for the generation semantics; linewidth and
+/// per-arm transmission come from the enclosing ChannelPairSpec).
+struct PulsedEmission {
+  double repetition_rate_hz = 0;   ///< pump pulse repetition rate
+  double mean_pairs_per_pulse = 0; ///< mean pair number per repetition period
+  double pulse_sigma_s = 0;        ///< Gaussian emission-time jitter (1σ)
+  double bin_separation_s = 0;     ///< 0 = single pulse; > 0 = early/late bins
+  double late_fraction = 0.5;      ///< probability a pair is born in the late bin
+};
+
 /// Physics + collection chain of one comb channel pair.
 struct ChannelPairSpec {
-  double pair_rate_hz = 0;            ///< on-chip generated pair rate
+  double pair_rate_hz = 0;            ///< on-chip generated pair rate (Cw mode)
   double linewidth_hz = 0;            ///< Lorentzian FWHM of both photons
   double transmission_signal = 1.0;   ///< channel transmission, signal arm
   double transmission_idler = 1.0;    ///< channel transmission, idler arm
@@ -64,6 +92,10 @@ struct ChannelPairSpec {
   double background_rate_idler_hz = 0;
   DetectorParams detector_signal;
   DetectorParams detector_idler;
+  /// Emission-model layer: how pair times are distributed over the run.
+  EmissionMode emission = EmissionMode::Cw;
+  PulsedEmission pulsed;              ///< used when emission == Pulsed
+  std::vector<RateSegment> segments;  ///< used when emission == PiecewiseRates
 };
 
 struct EngineConfig {

@@ -17,6 +17,35 @@ void PairStreamParams::validate() const {
     throw std::invalid_argument("PairStreamParams: transmission outside [0,1]");
 }
 
+namespace {
+
+/// Emit one correlated pair born at t0: Laplace-split the signal-idler
+/// delay symmetrically and thin each arm by its transmission. Shared by
+/// all three emission kernels so their delay/transmission semantics (and
+/// RNG consumption order) stay identical by construction.
+void emit_pair(double t0, double delay_scale, double duration_s, double transmission_a,
+               double transmission_b, PairStreams& s, rng::Xoshiro256& g) {
+  // Symmetrize: put half the Laplace delay on each photon so neither arm
+  // is systematically early.
+  const double delta = rng::sample_double_exponential(g, 1.0 / delay_scale);
+  const double ta = t0 + delta / 2.0;
+  const double tb = t0 - delta / 2.0;
+  if (ta >= 0 && ta < duration_s && rng::sample_bernoulli(g, transmission_a))
+    s.a.push_back(ta);
+  if (tb >= 0 && tb < duration_s && rng::sample_bernoulli(g, transmission_b))
+    s.b.push_back(tb);
+}
+
+/// The pair emission times are generated in order and the signal-idler
+/// delay is ~1/(2π δν), usually far below the mean pair spacing: both
+/// arms are almost always already sorted, so probe before sorting.
+void sort_if_needed(PairStreams& s) {
+  if (!std::is_sorted(s.a.begin(), s.a.end())) std::sort(s.a.begin(), s.a.end());
+  if (!std::is_sorted(s.b.begin(), s.b.end())) std::sort(s.b.begin(), s.b.end());
+}
+
+}  // namespace
+
 PairStreams generate_pair_arrivals(const PairStreamParams& p, rng::Xoshiro256& g) {
   p.validate();
   PairStreams s;
@@ -30,22 +59,10 @@ PairStreams generate_pair_arrivals(const PairStreamParams& p, rng::Xoshiro256& g
 
   double t = rng::sample_exponential(g, p.pair_rate_hz);
   while (t < p.duration_s) {
-    // Symmetrize: put half the Laplace delay on each photon so neither arm
-    // is systematically early.
-    const double delta = rng::sample_double_exponential(g, 1.0 / delay_scale);
-    const double ta = t + delta / 2.0;
-    const double tb = t - delta / 2.0;
-    if (ta >= 0 && ta < p.duration_s && rng::sample_bernoulli(g, p.transmission_a))
-      s.a.push_back(ta);
-    if (tb >= 0 && tb < p.duration_s && rng::sample_bernoulli(g, p.transmission_b))
-      s.b.push_back(tb);
+    emit_pair(t, delay_scale, p.duration_s, p.transmission_a, p.transmission_b, s, g);
     t += rng::sample_exponential(g, p.pair_rate_hz);
   }
-  // The pair emission times are generated in order and the signal-idler
-  // delay is ~1/(2π δν), usually far below the mean pair spacing: both
-  // arms are almost always already sorted, so probe before sorting.
-  if (!std::is_sorted(s.a.begin(), s.a.end())) std::sort(s.a.begin(), s.a.end());
-  if (!std::is_sorted(s.b.begin(), s.b.end())) std::sort(s.b.begin(), s.b.end());
+  sort_if_needed(s);
   return s;
 }
 
@@ -59,6 +76,151 @@ std::vector<double> generate_poisson_arrivals(double rate_hz, double duration_s,
   while (t < duration_s) {
     out.push_back(t);
     t += rng::sample_exponential(g, rate_hz);
+  }
+  return out;
+}
+
+void PulsedStreamParams::validate() const {
+  if (repetition_rate_hz <= 0)
+    throw std::invalid_argument("PulsedStreamParams: repetition rate <= 0");
+  if (mean_pairs_per_pulse < 0)
+    throw std::invalid_argument("PulsedStreamParams: negative mean pairs per pulse");
+  if (pulse_sigma_s < 0)
+    throw std::invalid_argument("PulsedStreamParams: negative pulse jitter");
+  if (bin_separation_s < 0)
+    throw std::invalid_argument("PulsedStreamParams: negative bin separation");
+  if (bin_separation_s >= 1.0 / repetition_rate_hz)
+    throw std::invalid_argument(
+        "PulsedStreamParams: bin separation >= repetition period");
+  if (late_fraction < 0 || late_fraction > 1)
+    throw std::invalid_argument("PulsedStreamParams: late fraction outside [0,1]");
+  if (linewidth_hz <= 0) throw std::invalid_argument("PulsedStreamParams: linewidth <= 0");
+  if (duration_s <= 0) throw std::invalid_argument("PulsedStreamParams: duration <= 0");
+  if (transmission_a < 0 || transmission_a > 1 || transmission_b < 0 || transmission_b > 1)
+    throw std::invalid_argument("PulsedStreamParams: transmission outside [0,1]");
+}
+
+PairStreams generate_pulsed_pair_arrivals(const PulsedStreamParams& p,
+                                          rng::Xoshiro256& g) {
+  p.validate();
+  PairStreams s;
+  if (p.mean_pairs_per_pulse == 0) return s;
+
+  const double delay_scale = 1.0 / (2.0 * photonics::pi * p.linewidth_hz);
+  const double period = 1.0 / p.repetition_rate_hz;
+  const std::size_t expected = static_cast<std::size_t>(
+                                   p.mean_pairs_per_pulse * p.duration_s / period * 1.1) +
+                               16;
+  s.a.reserve(expected);
+  s.b.reserve(expected);
+
+  const bool double_pulse = p.bin_separation_s > 0;
+  const double mu = p.mean_pairs_per_pulse;
+  // Visit only the occupied pulse slots: slot occupancy is Bernoulli with
+  // p_occ = 1 - e^-mu per slot, so the index gap to the next occupied slot
+  // is geometric — sampled exactly as floor(Exp(mu)) — and the pair number
+  // of a visited slot is zero-truncated Poisson. Identical in distribution
+  // to a Poisson draw per slot, at O(emitted pairs) RNG cost instead of
+  // O(slots); comb sources run at mu << 1, where almost every slot is empty.
+  double pulse = std::floor(rng::sample_exponential(g, mu));
+  for (;;) {
+    const double t_pulse = pulse * period;
+    if (t_pulse >= p.duration_s) break;
+    const std::uint64_t n = rng::sample_zero_truncated_poisson(g, mu);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      double t0 = t_pulse;
+      if (double_pulse && rng::sample_bernoulli(g, p.late_fraction))
+        t0 += p.bin_separation_s;
+      if (p.pulse_sigma_s > 0) t0 += rng::sample_normal(g, 0.0, p.pulse_sigma_s);
+      emit_pair(t0, delay_scale, p.duration_s, p.transmission_a, p.transmission_b, s, g);
+    }
+    pulse += 1.0 + std::floor(rng::sample_exponential(g, mu));
+  }
+  // Within one repetition period pairs are emitted bin-unordered; across
+  // periods they are time-ordered, so the streams are nearly sorted.
+  sort_if_needed(s);
+  return s;
+}
+
+namespace {
+
+void validate_segments(const std::vector<RateSegment>& segments, double duration_s) {
+  if (segments.empty())
+    throw std::invalid_argument("RateSegment schedule: no segments");
+  double total = 0;
+  for (const RateSegment& seg : segments) {
+    if (seg.duration_s <= 0)
+      throw std::invalid_argument("RateSegment: segment duration <= 0");
+    if (seg.pair_rate_hz < 0 || seg.background_rate_signal_hz < 0 ||
+        seg.background_rate_idler_hz < 0 || seg.dark_rate_signal_hz < 0 ||
+        seg.dark_rate_idler_hz < 0)
+      throw std::invalid_argument("RateSegment: negative rate");
+    total += seg.duration_s;
+  }
+  // Tiny relative slack so schedules assembled as duration/n sums are not
+  // rejected for float rounding.
+  if (total < duration_s * (1.0 - 1e-9))
+    throw std::invalid_argument(
+        "RateSegment schedule: segments do not cover the stream duration");
+}
+
+}  // namespace
+
+void PiecewiseStreamParams::validate() const {
+  validate_segments(segments, duration_s);
+  if (linewidth_hz <= 0)
+    throw std::invalid_argument("PiecewiseStreamParams: linewidth <= 0");
+  if (duration_s <= 0) throw std::invalid_argument("PiecewiseStreamParams: duration <= 0");
+  if (transmission_a < 0 || transmission_a > 1 || transmission_b < 0 || transmission_b > 1)
+    throw std::invalid_argument("PiecewiseStreamParams: transmission outside [0,1]");
+}
+
+PairStreams generate_piecewise_pair_arrivals(const PiecewiseStreamParams& p,
+                                             rng::Xoshiro256& g) {
+  p.validate();
+  PairStreams s;
+  const double delay_scale = 1.0 / (2.0 * photonics::pi * p.linewidth_hz);
+
+  double seg_start = 0;
+  for (const RateSegment& seg : p.segments) {
+    if (seg_start >= p.duration_s) break;
+    const double seg_end = std::min(seg_start + seg.duration_s, p.duration_s);
+    if (seg.pair_rate_hz > 0) {
+      // Same emission loop as the CW kernel, restarted per segment at the
+      // segment's own rate (memorylessness makes the restart exact).
+      double t = seg_start + rng::sample_exponential(g, seg.pair_rate_hz);
+      while (t < seg_end) {
+        emit_pair(t, delay_scale, p.duration_s, p.transmission_a, p.transmission_b, s, g);
+        t += rng::sample_exponential(g, seg.pair_rate_hz);
+      }
+    }
+    seg_start += seg.duration_s;
+  }
+  sort_if_needed(s);
+  return s;
+}
+
+std::vector<double> generate_piecewise_poisson_arrivals(
+    const std::vector<RateSegment>& segments, double RateSegment::*rate,
+    double duration_s, rng::Xoshiro256& g) {
+  if (duration_s <= 0)
+    throw std::invalid_argument("generate_piecewise_poisson_arrivals: duration <= 0");
+  validate_segments(segments, duration_s);
+
+  std::vector<double> out;
+  double seg_start = 0;
+  for (const RateSegment& seg : segments) {
+    if (seg_start >= duration_s) break;
+    const double seg_end = std::min(seg_start + seg.duration_s, duration_s);
+    const double r = seg.*rate;
+    if (r > 0) {
+      double t = seg_start + rng::sample_exponential(g, r);
+      while (t < seg_end) {
+        out.push_back(t);
+        t += rng::sample_exponential(g, r);
+      }
+    }
+    seg_start += seg.duration_s;
   }
   return out;
 }

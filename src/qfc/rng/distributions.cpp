@@ -78,6 +78,31 @@ std::uint64_t sample_poisson(Xoshiro256& g, double mu) {
   return poisson_ptrs(g, mu);
 }
 
+std::uint64_t sample_zero_truncated_poisson(Xoshiro256& g, double mu) {
+  if (mu <= 0)
+    throw std::invalid_argument("sample_zero_truncated_poisson: mean must be > 0");
+  if (mu >= 30.0) {
+    // P(0) = e^-mu is astronomically small here; plain rejection of the
+    // zero class virtually never loops.
+    for (;;) {
+      const std::uint64_t k = poisson_ptrs(g, mu);
+      if (k > 0) return k;
+    }
+  }
+  // Sequential CDF inversion over k >= 1: the target is uniform on
+  // (0, 1 - e^-mu), the total mass of the truncated distribution.
+  const double target = g.uniform() * -std::expm1(-mu);
+  double p = std::exp(-mu) * mu;  // P(k = 1)
+  double cdf = p;
+  std::uint64_t k = 1;
+  while (target > cdf && k < 1100) {
+    ++k;
+    p *= mu / static_cast<double>(k);
+    cdf += p;
+  }
+  return k;
+}
+
 bool sample_bernoulli(Xoshiro256& g, double p) {
   if (p < 0 || p > 1) throw std::invalid_argument("sample_bernoulli: p outside [0,1]");
   return g.uniform() < p;

@@ -28,6 +28,12 @@ double sample_double_exponential(Xoshiro256& g, double lambda);
 /// transformed-rejection method (PTRS, Hörmann 1993) for large mu.
 std::uint64_t sample_poisson(Xoshiro256& g, double mu);
 
+/// Poisson with mean mu > 0 conditioned on k >= 1. Used by the sparse
+/// pulsed-emission kernel, which visits only the occupied pulse slots of
+/// a pulse train (occupancy probability 1 - e^-mu per slot) and therefore
+/// needs the per-visited-slot pair number without the zero class.
+std::uint64_t sample_zero_truncated_poisson(Xoshiro256& g, double mu);
+
 /// Bernoulli with success probability p in [0, 1].
 bool sample_bernoulli(Xoshiro256& g, double p);
 

@@ -3,6 +3,7 @@
 // merge-sweep analysis vs the single-pair analyzers, and the engine-backed
 // cross-checks in the core layer.
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "qfc/core/qkd.hpp"
 #include "qfc/detect/event_engine.hpp"
 #include "qfc/detect/event_stream.hpp"
+#include "qfc/timebin/arrival_histogram.hpp"
 
 namespace {
 
@@ -194,6 +196,214 @@ TEST(EventEngine, ValidationErrors) {
   EXPECT_THROW(EventEngine(ec).run({bad}), std::invalid_argument);
 }
 
+// ------------------------------------------------------- emission-model layer
+
+ChannelPairSpec pulsed_test_spec(double mean_pairs_per_pulse, double bin_separation_s) {
+  ChannelPairSpec s;
+  s.emission = detect::EmissionMode::Pulsed;
+  s.linewidth_hz = 110e6;
+  s.pulsed.repetition_rate_hz = 16.8e6;
+  s.pulsed.mean_pairs_per_pulse = mean_pairs_per_pulse;
+  s.pulsed.bin_separation_s = bin_separation_s;
+  s.pulsed.pulse_sigma_s = 1e-9;
+  s.detector_signal.efficiency = 1.0;
+  s.detector_signal.dark_rate_hz = 0;
+  s.detector_signal.jitter_sigma_s = 0;
+  s.detector_signal.dead_time_s = 0;
+  s.detector_idler = s.detector_signal;
+  return s;
+}
+
+TEST(EmissionModes, CwSpecIsBitwiseUnchangedByTheLayer) {
+  // A default-constructed spec is EmissionMode::Cw; the engine output must
+  // equal the pre-emission-layer chain (generate_pair_arrivals + inject +
+  // detect with the same forked generators), which
+  // EventEngine.MatchesLegacyPipelineBitwise pins. Here additionally pin
+  // that the enum default really is Cw and that the overload with no extra
+  // darks is the plain detect path.
+  EXPECT_EQ(ChannelPairSpec{}.emission, detect::EmissionMode::Cw);
+
+  rng::Xoshiro256 g1(5), g2(5);
+  const detect::SinglePhotonDetector det(detect::DetectorParams{});
+  const std::vector<double> arrivals{0.1, 0.2, 0.5};
+  EXPECT_EQ(det.detect(arrivals, 1.0, g1), det.detect(arrivals, {}, 1.0, g2));
+}
+
+TEST(EmissionModes, PulsedClicksLockedToPulseTrain) {
+  // Single-pulse mode, ideal detectors: every click must sit within a few
+  // ns (envelope jitter + Laplace delay) of a pulse-train slot.
+  auto spec = pulsed_test_spec(0.01, 0.0);
+  EngineConfig ec;
+  ec.duration_s = 0.02;
+  ec.seed = 31;
+  const EngineResult res = EventEngine(ec).run({spec});
+
+  const double period = 1.0 / spec.pulsed.repetition_rate_hz;
+  const double n_pulses = ec.duration_s / period;
+  const double expected = spec.pulsed.mean_pairs_per_pulse * n_pulses;
+  EXPECT_NEAR(static_cast<double>(res.signal.channel_size(0)), expected,
+              5.0 * std::sqrt(expected));
+
+  for (const double t : res.signal.channel_clicks(0)) {
+    const double phase = std::abs(t - std::round(t / period) * period);
+    EXPECT_LT(phase, 12e-9) << "click at " << t << " not pulse-locked";
+  }
+}
+
+TEST(EmissionModes, PulsedBitwiseDeterministicAcrossThreadCounts) {
+  std::vector<ChannelPairSpec> specs;
+  for (int k = 0; k < 5; ++k)
+    specs.push_back(pulsed_test_spec(0.002 + 0.001 * k, k % 2 ? 20e-9 : 0.0));
+  EngineConfig ec;
+  ec.duration_s = 0.05;
+  ec.seed = 17;
+  ec.num_threads = 1;
+  const EngineResult r1 = EventEngine(ec).run(specs);
+  ec.num_threads = 2;
+  const EngineResult r2 = EventEngine(ec).run(specs);
+  ec.num_threads = 4;
+  const EngineResult r4 = EventEngine(ec).run(specs);
+  EXPECT_EQ(r1.signal, r2.signal);
+  EXPECT_EQ(r1.idler, r2.idler);
+  EXPECT_EQ(r1.signal, r4.signal);
+  EXPECT_EQ(r1.idler, r4.idler);
+}
+
+TEST(EmissionModes, DoublePulseHistogramResolvesThreePeaks) {
+  // High per-pulse mean so multi-pair cross-bin accidentals populate the
+  // ±ΔT side peaks; same-bin true coincidences dominate the center.
+  const double dT = 20e-9;
+  auto spec = pulsed_test_spec(0.3, dT);
+  EngineConfig ec;
+  ec.duration_s = 0.01;
+  ec.seed = 23;
+  const EngineResult res = EventEngine(ec).run({spec});
+
+  const auto hists = detect::correlate_all(res.signal, res.idler, dT / 16.0, 1.5 * dT);
+  const auto peaks = timebin::fold_timebin_peaks(hists[0], dT, dT / 4.0);
+  EXPECT_GT(peaks.early_late, 100u);
+  EXPECT_GT(peaks.late_early, 100u);
+  EXPECT_GT(peaks.same_bin, peaks.early_late + peaks.late_early);
+  EXPECT_GT(peaks.central_to_side_ratio(), 2.0);
+  // The two cross-bin combinations are statistically symmetric.
+  const double side_mean =
+      (static_cast<double>(peaks.early_late) + static_cast<double>(peaks.late_early)) / 2.0;
+  EXPECT_NEAR(static_cast<double>(peaks.early_late), side_mean,
+              6.0 * std::sqrt(side_mean));
+}
+
+TEST(EmissionModes, PiecewiseSegmentCountsMatchSegmentRates) {
+  // Two segments at different pair rates, ideal detectors: each half of
+  // the run must count at its own segment's rate.
+  ChannelPairSpec spec;
+  spec.emission = detect::EmissionMode::PiecewiseRates;
+  spec.linewidth_hz = 110e6;
+  spec.segments = {detect::RateSegment{2.0, 5e3, 0, 0, 0, 0},
+                   detect::RateSegment{2.0, 20e3, 0, 0, 0, 0}};
+  spec.detector_signal.efficiency = 1.0;
+  spec.detector_signal.dark_rate_hz = 0;
+  spec.detector_signal.jitter_sigma_s = 0;
+  spec.detector_signal.dead_time_s = 0;
+  spec.detector_idler = spec.detector_signal;
+
+  EngineConfig ec;
+  ec.duration_s = 4.0;
+  ec.seed = 29;
+  const EngineResult res = EventEngine(ec).run({spec});
+
+  const auto clicks = res.signal.channel_clicks(0);
+  const auto split = std::lower_bound(clicks.begin(), clicks.end(), 2.0);
+  const double first = static_cast<double>(std::distance(clicks.begin(), split));
+  const double second = static_cast<double>(std::distance(split, clicks.end()));
+  EXPECT_NEAR(first, 10e3, 5.0 * std::sqrt(10e3));
+  EXPECT_NEAR(second, 40e3, 5.0 * std::sqrt(40e3));
+}
+
+TEST(EmissionModes, PiecewiseDarksAndBackgroundsCompose) {
+  // Segment darks click directly (no efficiency thinning); segment
+  // backgrounds are thinned like photons; both add to the spec-level
+  // homogeneous rates.
+  ChannelPairSpec spec;
+  spec.emission = detect::EmissionMode::PiecewiseRates;
+  spec.linewidth_hz = 110e6;
+  spec.segments = {detect::RateSegment{10.0, 0, /*bg_s=*/40e3, 0, /*dark_s=*/10e3, 0}};
+  spec.background_rate_signal_hz = 20e3;  // homogeneous, thinned
+  spec.detector_signal.efficiency = 0.5;
+  spec.detector_signal.dark_rate_hz = 5e3;  // homogeneous, direct
+  spec.detector_signal.jitter_sigma_s = 0;
+  spec.detector_signal.dead_time_s = 0;
+  spec.detector_idler = spec.detector_signal;
+  spec.detector_idler.dark_rate_hz = 0;
+
+  EngineConfig ec;
+  ec.duration_s = 10.0;
+  ec.seed = 37;
+  const EngineResult res = EventEngine(ec).run({spec});
+
+  // Signal arm: 0.5 * (20k + 40k) photons + 5k + 10k darks = 45 kHz.
+  const double expected_s = (0.5 * 60e3 + 15e3) * ec.duration_s;
+  EXPECT_NEAR(static_cast<double>(res.signal.channel_size(0)), expected_s,
+              5.0 * std::sqrt(expected_s));
+  EXPECT_EQ(res.idler.channel_size(0), 0u);
+}
+
+TEST(EmissionModes, PiecewiseBitwiseDeterministicAcrossThreadCounts) {
+  std::vector<ChannelPairSpec> specs;
+  for (int k = 0; k < 4; ++k) {
+    ChannelPairSpec spec;
+    spec.emission = detect::EmissionMode::PiecewiseRates;
+    spec.linewidth_hz = 110e6;
+    spec.segments = {detect::RateSegment{0.5, 10e3 + 1e3 * k, 2e3, 1e3, 500, 250},
+                     detect::RateSegment{0.5, 30e3 - 2e3 * k, 1e3, 2e3, 250, 500}};
+    spec.detector_signal.efficiency = 0.4;
+    spec.detector_signal.dark_rate_hz = 1e3;
+    spec.detector_idler = spec.detector_signal;
+    specs.push_back(spec);
+  }
+  EngineConfig ec;
+  ec.duration_s = 1.0;
+  ec.seed = 41;
+  ec.num_threads = 1;
+  const EngineResult r1 = EventEngine(ec).run(specs);
+  ec.num_threads = 2;
+  const EngineResult r2 = EventEngine(ec).run(specs);
+  ec.num_threads = 4;
+  const EngineResult r4 = EventEngine(ec).run(specs);
+  EXPECT_EQ(r1.signal, r2.signal);
+  EXPECT_EQ(r1.idler, r2.idler);
+  EXPECT_EQ(r1.signal, r4.signal);
+  EXPECT_EQ(r1.idler, r4.idler);
+}
+
+TEST(EmissionModes, ValidationErrors) {
+  EngineConfig ec;
+  ec.duration_s = 1.0;
+
+  ChannelPairSpec pulsed = pulsed_test_spec(0.01, 0.0);
+  pulsed.pair_rate_hz = 1000;  // ambiguous: rate comes from the train
+  EXPECT_THROW(EventEngine(ec).run({pulsed}), std::invalid_argument);
+  pulsed.pair_rate_hz = 0;
+  pulsed.pulsed.bin_separation_s = 1.0;  // >= repetition period
+  EXPECT_THROW(EventEngine(ec).run({pulsed}), std::invalid_argument);
+  pulsed.pulsed.bin_separation_s = 0;
+  pulsed.pulsed.late_fraction = 1.5;
+  EXPECT_THROW(EventEngine(ec).run({pulsed}), std::invalid_argument);
+
+  ChannelPairSpec piecewise;
+  piecewise.emission = detect::EmissionMode::PiecewiseRates;
+  piecewise.linewidth_hz = 100e6;
+  piecewise.segments = {detect::RateSegment{0.25, 1e3, 0, 0, 0, 0}};  // covers 0.25 < 1.0
+  EXPECT_THROW(EventEngine(ec).run({piecewise}), std::invalid_argument);
+  piecewise.segments = {detect::RateSegment{1.0, -1.0, 0, 0, 0, 0}};
+  EXPECT_THROW(EventEngine(ec).run({piecewise}), std::invalid_argument);
+  piecewise.segments = {detect::RateSegment{1.0, 1e3, 0, 0, 0, 0}};
+  piecewise.pair_rate_hz = 1000;  // ambiguous: segments carry the rate
+  EXPECT_THROW(EventEngine(ec).run({piecewise}), std::invalid_argument);
+  piecewise.pair_rate_hz = 0;
+  piecewise.segments.clear();
+  EXPECT_THROW(EventEngine(ec).run({piecewise}), std::invalid_argument);
+}
+
 TEST(BatchedAnalysis, CarMatrixMatchesMeasureCar) {
   const auto specs = test_specs(3);
   EngineConfig ec;
@@ -277,6 +487,22 @@ TEST(CoreStreamChecks, TimebinCarCheckShowsCorrelations) {
   const auto cars = exp.run_car_check(/*duration_s=*/0.2);
   ASSERT_EQ(cars.size(), 5u);
   for (const auto& car : cars) EXPECT_GT(car.car, 3.0);
+}
+
+TEST(CoreStreamChecks, PulsedCarCheckResolvesTimebinPeaks) {
+  const auto comb = core::QuantumFrequencyComb::for_configuration(
+      core::PumpConfiguration::DoublePulse);
+  auto exp = comb.timebin_default();
+  const auto checks = exp.run_pulsed_car_check(/*duration_s=*/0.15);
+  ASSERT_EQ(checks.size(), 5u);
+  for (const auto& c : checks) {
+    EXPECT_GT(c.car.car, 3.0);
+    // Central (same-bin) peak dominates; cross-bin multi-pair accidentals
+    // populate the ±ΔT side peaks without overwhelming it.
+    EXPECT_GT(c.peaks.same_bin, 100u);
+    EXPECT_GT(c.peaks.central_to_side_ratio(), 3.0);
+    EXPECT_EQ(c.histogram.counts.size(), 2 * 24 + 1u);  // range 1.5ΔT / width ΔT/16
+  }
 }
 
 TEST(CoreStreamChecks, QkdStreamCheckAccidentalFloor) {

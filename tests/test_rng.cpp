@@ -148,6 +148,28 @@ TEST(Poisson, NegativeThrows) {
   EXPECT_THROW(qfc::rng::sample_poisson(g, -1.0), std::invalid_argument);
 }
 
+TEST(ZeroTruncatedPoisson, NeverZeroAndMeanMatches) {
+  Xoshiro256 g(117);
+  for (const double mu : {0.05, 0.8, 5.0, 40.0}) {
+    const int trials = 40000;
+    double sum = 0;
+    for (int i = 0; i < trials; ++i) {
+      const auto k = qfc::rng::sample_zero_truncated_poisson(g, mu);
+      ASSERT_GE(k, 1u);
+      sum += static_cast<double>(k);
+    }
+    // E[k | k >= 1] = mu / (1 - e^-mu).
+    const double expected = mu / -std::expm1(-mu);
+    EXPECT_NEAR(sum / trials, expected, 0.02 * expected) << "mu=" << mu;
+  }
+}
+
+TEST(ZeroTruncatedPoisson, NonPositiveMeanThrows) {
+  Xoshiro256 g(118);
+  EXPECT_THROW(qfc::rng::sample_zero_truncated_poisson(g, 0.0), std::invalid_argument);
+  EXPECT_THROW(qfc::rng::sample_zero_truncated_poisson(g, -1.0), std::invalid_argument);
+}
+
 TEST(Bernoulli, Extremes) {
   Xoshiro256 g(18);
   for (int i = 0; i < 50; ++i) {
