@@ -1,10 +1,12 @@
 // Perf bench for the batched columnar event engine: full n-channel-pair
 // CAR (coincidence) matrix, legacy per-channel path (per-channel streams +
 // n² pairwise measure_car re-scans) vs EventEngine + single merge-sweep
-// car_matrix, plus engine-only rows for the pulsed and piecewise-rate
-// emission modes. Also checks that the two CW paths produce identical
-// cells and that every emission mode is bitwise invariant across thread
-// counts.
+// car_matrix, engine-only rows for the pulsed and piecewise-rate emission
+// modes, and analysis thread-scaling rows (the sharded car_matrix /
+// correlate_all sweeps at 1/2/4 workers). Also checks that the two CW
+// paths produce identical cells, that every emission mode is bitwise
+// invariant across generation thread counts, and that the sharded analysis
+// sweeps are bitwise invariant across analysis worker counts.
 //
 // Usage: bench_event_engine [--smoke] [--json PATH] [--help]
 //   --smoke   smaller durations / channel counts (CI)
@@ -187,6 +189,65 @@ ModeRow bench_mode(const char* emission, const std::vector<detect::ChannelPairSp
   return row;
 }
 
+/// Analysis thread-scaling row: the sharded car_matrix + correlate_all
+/// sweeps over one fixed table at an explicit worker count, with a bitwise
+/// determinism flag vs the 1-worker sweep and the speedup ratio vs the
+/// 1-worker time (the quantity the CI ratio gate watches).
+struct AnalysisRow {
+  int threads = 0;
+  double car_ms = 0;
+  double correlate_ms = 0;
+  double speedup_vs_1t = 0;
+  bool deterministic = false;
+};
+
+std::vector<AnalysisRow> bench_analysis_threads(const detect::EngineResult& events) {
+  std::vector<AnalysisRow> rows;
+  detect::CarMatrix cells_1t;
+  std::vector<detect::CoincidenceHistogram> hists_1t;
+  const unsigned saved_request = detect::analysis_thread_request();
+  for (const int threads : {1, 2, 4}) {
+    AnalysisRow row;
+    row.threads = threads;
+
+    // Route through the process-wide cached pool (num_threads = 0) and
+    // build it with an untimed warm-up sweep, so the timed region measures
+    // the sharded sweep only — never worker spawn/teardown, which would
+    // bias speedup_vs_1t toward whichever leg matches the cached pool size.
+    detect::set_analysis_threads(static_cast<unsigned>(threads));
+    detect::car_matrix(events.signal, events.idler, kWindow, kSpacing);
+
+    auto t0 = Clock::now();
+    const auto cells =
+        detect::car_matrix(events.signal, events.idler, kWindow, kSpacing);
+    row.car_ms = ms_since(t0);
+
+    t0 = Clock::now();
+    const auto hists = detect::correlate_all(events.signal, events.idler, 1e-9, 50e-9);
+    row.correlate_ms = ms_since(t0);
+
+    if (threads == 1) {
+      cells_1t = cells;
+      hists_1t = hists;
+      row.deterministic = true;
+      row.speedup_vs_1t = 1.0;
+    } else {
+      bool same = cells.cells.size() == cells_1t.cells.size() &&
+                  hists.size() == hists_1t.size();
+      for (std::size_t i = 0; same && i < cells.cells.size(); ++i)
+        same = cells.cells[i].coincidences == cells_1t.cells[i].coincidences &&
+               cells.cells[i].accidentals == cells_1t.cells[i].accidentals;
+      for (std::size_t c = 0; same && c < hists.size(); ++c)
+        same = hists[c].counts == hists_1t[c].counts;
+      row.deterministic = same;
+      row.speedup_vs_1t = row.car_ms > 0 ? rows[0].car_ms / row.car_ms : 0;
+    }
+    rows.push_back(row);
+  }
+  detect::set_analysis_threads(saved_request);
+  return rows;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -264,6 +325,26 @@ int main(int argc, char** argv) {
                 r.deterministic ? "yes" : "NO");
   }
 
+  // Analysis thread-scaling rows: sharded merge-sweep at 1/2/4 workers over
+  // the largest CW table of the sweep.
+  const int n_analysis = channel_counts.back();
+  detect::EngineConfig analysis_ec;
+  analysis_ec.duration_s = duration_s;
+  analysis_ec.seed = kSeed;
+  const auto analysis_events =
+      detect::EventEngine(analysis_ec).run(make_specs(n_analysis));
+  const auto analysis_rows = bench_analysis_threads(analysis_events);
+  bool analysis_deterministic = true;
+  std::printf("\nanalysis thread scaling (n=%d, sharded car_matrix/correlate_all)\n",
+              n_analysis);
+  std::printf("%8s %12s %14s %12s %14s\n", "threads", "car[ms]", "correlate[ms]",
+              "speedup", "deterministic");
+  for (const AnalysisRow& r : analysis_rows) {
+    analysis_deterministic = analysis_deterministic && r.deterministic;
+    std::printf("%8d %12.1f %14.1f %11.2fx %14s\n", r.threads, r.car_ms,
+                r.correlate_ms, r.speedup_vs_1t, r.deterministic ? "yes" : "NO");
+  }
+
   std::vector<std::string> json_rows;
   json_rows.reserve(rows.size() + mode_rows.size());
   for (const Row& r : rows)
@@ -275,6 +356,12 @@ int main(int argc, char** argv) {
     json_rows.push_back(bench::format(
         "{\"emission\": \"%s\", \"n\": %d, \"engine_ms\": %.3f, \"deterministic\": %s}",
         r.emission, r.n, r.engine_ms, r.deterministic ? "true" : "false"));
+  for (const AnalysisRow& r : analysis_rows)
+    json_rows.push_back(bench::format(
+        "{\"kernel\": \"analysis\", \"threads\": %d, \"n\": %d, \"car_ms\": %.3f, "
+        "\"correlate_ms\": %.3f, \"speedup_vs_1t\": %.3f, \"deterministic\": %s}",
+        r.threads, n_analysis, r.car_ms, r.correlate_ms, r.speedup_vs_1t,
+        r.deterministic ? "true" : "false"));
   bench::write_json(json_path, "event_engine", smoke, json_rows,
                     {bench::format("\"duration_s\": %.3f", duration_s),
                      bench::format("\"speedup_n10\": %.3f", speedup_n10),
@@ -282,14 +369,16 @@ int main(int argc, char** argv) {
                                    deterministic ? "true" : "false")});
 
   // Exit code gates on correctness only (cell identity + thread-count
-  // determinism in every emission mode); the speedup target is reported
-  // but not allowed to fail CI on a noisy shared runner.
-  const bool correct = all_identical && deterministic && modes_deterministic;
+  // determinism in every emission mode and in the sharded analysis sweep);
+  // the speedup target is reported but not allowed to fail CI on a noisy
+  // shared runner.
+  const bool correct =
+      all_identical && deterministic && modes_deterministic && analysis_deterministic;
   const bool ok = correct && speedup_n10 >= 5.0;
   bench::verdict(ok, "n=10 speedup " + std::to_string(speedup_n10) + "x, cells " +
                          (all_identical ? "identical" : "DIFFER") + ", " +
-                         (deterministic && modes_deterministic
-                              ? "thread-invariant (all emission modes)"
+                         (deterministic && modes_deterministic && analysis_deterministic
+                              ? "thread-invariant (generation + analysis)"
                               : "NOT thread-invariant"));
   return correct ? 0 : 1;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Perf-regression gate for the BENCH_*.json envelopes.
 
-Compares a freshly produced bench JSON against the committed baseline and
-fails (exit 1) when:
+Compares a freshly produced bench JSON against the committed baseline.
+
+Absolute mode (default, for local/dev-container runs where the baseline was
+recorded on the same hardware) fails (exit 1) when:
 
   * any row matched between baseline and candidate slowed down by more than
     --max-slowdown (default 0.35 = 35%) on any ``*_ms`` field whose baseline
@@ -12,24 +14,40 @@ fails (exit 1) when:
     baseline, or
   * a baseline row has no matching candidate row (coverage regression).
 
+Ratio mode (``--ratios-only``, used by the GitHub ``bench`` job) ignores the
+absolute ``*_ms`` fields entirely — shared-runner hardware is not the
+hardware the baselines were recorded on, so absolute timings only flake.
+Instead it gates on what stays meaningful across machines:
+
+  * ratio columns (``speedup``, ``speedup_*``, ``*_ratio``), per row and
+    top-level: a candidate ratio falling below
+    baseline * (1 - --max-ratio-drop) (default 0.5 = may halve) fails —
+    catching e.g. the batched engine collapsing back to legacy speed or the
+    sharded analysis sweep losing its multi-worker scaling. Rows whose
+    baseline ``*_ms`` fields all sit below --min-ms are skipped: a ratio of
+    two sub-noise-floor timings is itself timer noise, and
+
+  * the same correctness-flag and missing-row checks as absolute mode.
+
 Rows are matched on the stable identity fields (``kernel``, ``emission``,
-``n``); extra candidate rows (new coverage) only warn. Speedups and extra
+``threads``, ``n``); extra candidate rows (new coverage) only warn. Extra
 fields are ignored. stdlib only — runs anywhere python3 exists.
 
 Usage:
-  scripts/check_bench.py BASELINE CANDIDATE [--max-slowdown 0.35] [--min-ms 1.0]
+  scripts/check_bench.py BASELINE CANDIDATE [--max-slowdown 0.35]
+      [--min-ms 1.0] [--ratios-only] [--max-ratio-drop 0.5]
 
 CI wiring (.github/workflows/ci.yml, ``bench`` job): the smoke benches write
-fresh envelopes under build/ and this script gates them against the
-committed repo-root baselines. The same knob is documented in the benches'
-``--help``.
+fresh envelopes under build/ and this script gates them with --ratios-only
+against the committed repo-root baselines. The same knobs are documented in
+the benches' ``--help``.
 """
 
 import argparse
 import json
 import sys
 
-KEY_FIELDS = ("kernel", "emission", "mode", "n")
+KEY_FIELDS = ("kernel", "emission", "mode", "threads", "n")
 FLAG_FIELDS = ("identical", "match", "deterministic")
 
 
@@ -39,6 +57,10 @@ def row_key(row):
 
 def fmt_key(key):
     return ", ".join(f"{k}={v}" for k, v in key) or "<unkeyed>"
+
+
+def is_ratio_field(name):
+    return name == "speedup" or name.startswith("speedup_") or name.endswith("_ratio")
 
 
 def load(path):
@@ -52,9 +74,53 @@ def load(path):
     return doc
 
 
-def check(baseline_path, candidate_path, max_slowdown, min_ms):
-    base = load(baseline_path)
-    cand = load(candidate_path)
+def has_solid_timing(row, min_ms):
+    """True when the row's ratios rest on timings above the noise floor: at
+    least one baseline ``*_ms`` field reaches min_ms (a ratio of two
+    microsecond-scale timings is as noisy as the timings themselves). Rows
+    carrying no ``*_ms`` fields at all (e.g. the top-level envelope, whose
+    ratios summarize well-timed rows) pass."""
+    ms_fields = [
+        v
+        for k, v in row.items()
+        if k.endswith("_ms") and isinstance(v, (int, float)) and not isinstance(v, bool)
+    ]
+    return not ms_fields or any(v >= min_ms for v in ms_fields)
+
+
+def compare_fields(key_label, brow, crow, args, errors):
+    """Per-field gate for one matched baseline/candidate row pair (also used
+    for the top-level envelope members, with key_label = '<top-level>')."""
+    ratio_rows_gated = has_solid_timing(brow, args.min_ms)
+    for field, bval in brow.items():
+        if not isinstance(bval, (int, float)) or isinstance(bval, bool):
+            continue
+        cval = crow.get(field)
+        if not isinstance(cval, (int, float)) or isinstance(cval, bool):
+            continue
+        if args.ratios_only:
+            if not is_ratio_field(field) or bval <= 0 or not ratio_rows_gated:
+                continue
+            drop = 1.0 - cval / bval
+            if drop > args.max_ratio_drop:
+                errors.append(
+                    f"row [{key_label}]: {field} {bval:.3f} -> {cval:.3f} "
+                    f"(-{100.0 * drop:.0f}% > {100.0 * args.max_ratio_drop:.0f}%)"
+                )
+        else:
+            if not field.endswith("_ms") or bval < args.min_ms:
+                continue  # non-timing or sub-threshold (timer noise) field
+            slowdown = cval / bval - 1.0
+            if slowdown > args.max_slowdown:
+                errors.append(
+                    f"row [{key_label}]: {field} {bval:.3f} -> {cval:.3f} ms "
+                    f"(+{100.0 * slowdown:.0f}% > {100.0 * args.max_slowdown:.0f}%)"
+                )
+
+
+def check(args):
+    base = load(args.baseline)
+    cand = load(args.candidate)
     errors = []
     warnings = []
 
@@ -66,7 +132,7 @@ def check(baseline_path, candidate_path, max_slowdown, min_ms):
     # baseline says — a flipped flag is a bug, not a perf regression.
     for name in FLAG_FIELDS:
         if cand.get(name) is False:
-            errors.append(f"top-level flag '{name}' is false in {candidate_path}")
+            errors.append(f"top-level flag '{name}' is false in {args.candidate}")
     for key, row in cand_rows.items():
         for name in FLAG_FIELDS:
             if row.get(name) is False:
@@ -77,39 +143,35 @@ def check(baseline_path, candidate_path, max_slowdown, min_ms):
         key = row_key(brow)
         crow = cand_rows.get(key)
         if crow is None:
-            errors.append(f"row [{fmt_key(key)}] missing from {candidate_path}")
+            errors.append(f"row [{fmt_key(key)}] missing from {args.candidate}")
             continue
         matched += 1
-        for field, bval in brow.items():
-            if not field.endswith("_ms") or not isinstance(bval, (int, float)):
-                continue
-            cval = crow.get(field)
-            if not isinstance(cval, (int, float)):
-                continue
-            if bval < min_ms:
-                continue  # sub-threshold rows are timer noise
-            slowdown = cval / bval - 1.0
-            if slowdown > max_slowdown:
-                errors.append(
-                    f"row [{fmt_key(key)}]: {field} {bval:.3f} -> {cval:.3f} ms "
-                    f"(+{100.0 * slowdown:.0f}% > {100.0 * max_slowdown:.0f}%)"
-                )
+        compare_fields(fmt_key(key), brow, crow, args, errors)
+    if args.ratios_only:
+        # Top-level ratio members (speedup_n10, ...) gate too.
+        compare_fields("<top-level>", base, cand, args, errors)
 
     base_keys = {row_key(r) for r in base["rows"]}
     for key in cand_rows:
         if key not in base_keys:
             warnings.append(f"row [{fmt_key(key)}] is new (not in baseline)")
 
-    name = base.get("bench", baseline_path)
+    name = base.get("bench", args.baseline)
     for w in warnings:
         print(f"check_bench[{name}]: warning: {w}")
     for e in errors:
         print(f"check_bench[{name}]: FAIL: {e}")
     if not errors:
-        print(
-            f"check_bench[{name}]: OK — {matched} matched rows within "
-            f"{100.0 * max_slowdown:.0f}% of baseline, all flags true"
-        )
+        if args.ratios_only:
+            print(
+                f"check_bench[{name}]: OK — {matched} matched rows, ratio columns "
+                f"within {100.0 * args.max_ratio_drop:.0f}% of baseline, all flags true"
+            )
+        else:
+            print(
+                f"check_bench[{name}]: OK — {matched} matched rows within "
+                f"{100.0 * args.max_slowdown:.0f}% of baseline, all flags true"
+            )
     return not errors
 
 
@@ -129,9 +191,21 @@ def main():
         default=1.0,
         help="ignore *_ms fields whose baseline value is below this (noise floor)",
     )
+    parser.add_argument(
+        "--ratios-only",
+        action="store_true",
+        help="gate on speedup/ratio columns and correctness flags instead of "
+        "absolute ms (for CI runners whose hardware differs from the baseline's)",
+    )
+    parser.add_argument(
+        "--max-ratio-drop",
+        type=float,
+        default=0.5,
+        help="with --ratios-only: maximum allowed relative drop of a ratio "
+        "column vs baseline (default 0.5 = the ratio may halve)",
+    )
     args = parser.parse_args()
-    ok = check(args.baseline, args.candidate, args.max_slowdown, args.min_ms)
-    sys.exit(0 if ok else 1)
+    sys.exit(0 if check(args) else 1)
 
 
 if __name__ == "__main__":

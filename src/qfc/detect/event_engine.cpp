@@ -1,14 +1,16 @@
 #include "qfc/detect/event_engine.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <exception>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "qfc/detect/event_stream.hpp"
+#include "qfc/parallel/worker_pool.hpp"
 #include "qfc/rng/xoshiro.hpp"
 
 namespace qfc::detect {
@@ -62,6 +64,8 @@ EventEngine::EventEngine(EngineConfig cfg) : cfg_(cfg) {
     throw std::invalid_argument("EngineConfig: duration <= 0");
   if (cfg_.num_threads < 0)
     throw std::invalid_argument("EngineConfig: negative thread count");
+  if (cfg_.analysis_threads < 0)
+    throw std::invalid_argument("EngineConfig: negative analysis thread count");
 }
 
 namespace {
@@ -212,27 +216,10 @@ EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) cons
   num_threads = static_cast<unsigned>(
       std::min<std::size_t>(num_threads, std::max<std::size_t>(n, 1)));
 
-  if (num_threads <= 1) {
-    for (std::size_t c = 0; c < n; ++c) process_channel(c);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::exception_ptr error;
-    std::atomic<bool> failed{false};
-    std::vector<std::thread> pool;
-    pool.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) {
-      pool.emplace_back([&] {
-        try {
-          for (std::size_t c = next.fetch_add(1); c < n; c = next.fetch_add(1))
-            process_channel(c);
-        } catch (...) {
-          if (!failed.exchange(true)) error = std::current_exception();
-        }
-      });
-    }
-    for (auto& th : pool) th.join();
-    if (error) std::rethrow_exception(error);
-  }
+  // Per-run pool sized to the config: workers claim whole channels, so the
+  // output is schedule-independent (see file comment in the header).
+  parallel::WorkerPool pool(num_threads);
+  pool.run(n, process_channel);
 
   EngineResult result;
   result.signal = EventTable::from_columns(std::move(sig_cols));
@@ -315,49 +302,179 @@ MergedView merge_channels(const EventTable& table) {
   return m;
 }
 
+// --------------------------------------------------- analysis worker pool
+
+std::mutex analysis_pool_mutex;
+std::shared_ptr<parallel::WorkerPool> analysis_pool_instance;
+
+unsigned initial_analysis_request() {
+  if (const char* env = std::getenv("QFC_ENGINE_ANALYSIS_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 0;  // auto
+}
+
+unsigned& analysis_request() {
+  static unsigned n = initial_analysis_request();
+  return n;
+}
+
+unsigned resolve_analysis_threads(unsigned requested) {
+  return requested > 0 ? requested : std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Pool for one analysis call. `num_threads` <= 0 uses (and lazily builds)
+/// the cached process-wide pool at the current request; a positive explicit
+/// count that matches the cached size reuses it, any other explicit count
+/// gets a transient pool so bench-style 1/2/4 sweeps cannot evict the
+/// default pool. Callers hold the shared_ptr for the whole sweep, so a
+/// concurrent set_analysis_threads() swap cannot destroy a pool mid-run.
+std::shared_ptr<parallel::WorkerPool> analysis_pool_for(int num_threads) {
+  if (num_threads < 0)
+    throw std::invalid_argument("analysis sweep: negative thread count");
+  std::lock_guard<std::mutex> lock(analysis_pool_mutex);
+  const unsigned want = num_threads > 0
+                            ? static_cast<unsigned>(num_threads)
+                            : resolve_analysis_threads(analysis_request());
+  if (analysis_pool_instance && analysis_pool_instance->size() == want)
+    return analysis_pool_instance;
+  if (num_threads > 0)
+    return std::make_shared<parallel::WorkerPool>(want);
+  analysis_pool_instance = std::make_shared<parallel::WorkerPool>(want);
+  return analysis_pool_instance;
+}
+
+// ------------------------------------------------------- sharded sweeps
+//
+// Unit of parallel analysis work: one contiguous slice of one signal
+// channel's column. Boundaries depend only on the table contents (fixed
+// kAnalysisChunkEvents), never on the worker count; each shard accumulates
+// into its own partial count buffer and the buffers merge additively in
+// shard order after the join. Counts are integers, so the merged result is
+// bitwise identical to the single-threaded sweep at any pool size.
+
+constexpr std::size_t kAnalysisChunkEvents = 16384;
+
+struct SignalShard {
+  std::size_t channel = 0;
+  std::size_t begin = 0;  ///< event-index range within the channel column
+  std::size_t end = 0;
+};
+
+std::vector<SignalShard> make_signal_shards(const EventTable& signal) {
+  std::vector<SignalShard> shards;
+  for (std::size_t c = 0; c < signal.num_channels(); ++c) {
+    const std::size_t len = signal.channel_size(c);
+    for (std::size_t b = 0; b < len; b += kAnalysisChunkEvents)
+      shards.push_back({c, b, std::min(b + kAnalysisChunkEvents, len)});
+  }
+  return shards;
+}
+
+/// Index of the first merged-view event with t >= first signal time - reach:
+/// exactly where the monotone `lo` pointer of the full sweep would stand
+/// when it reaches this shard's first event.
+std::size_t sweep_start(const std::vector<double>& t, double first_ta, double reach) {
+  return static_cast<std::size_t>(
+      std::lower_bound(t.begin(), t.end(), first_ta - reach) - t.begin());
+}
+
+/// Run the sharded sweep: `sweep(shard, row)` must accumulate shard's counts
+/// into `row`, a zeroed buffer of `row_size` cells addressed relative to the
+/// shard's channel; `row_of(channel)` is that channel's slice of the global
+/// count array. With one worker the shards sweep the global rows directly
+/// (no partials) — the order of integer additions per cell is unchanged, so
+/// both paths produce identical counts.
+template <class SweepFn, class RowOfFn>
+void run_sharded(const EventTable& signal, int num_threads, std::size_t row_size,
+                 const SweepFn& sweep, const RowOfFn& row_of) {
+  if (num_threads < 0)
+    throw std::invalid_argument("analysis sweep: negative thread count");
+  const auto shards = make_signal_shards(signal);
+  if (shards.empty()) return;
+  const auto wp = analysis_pool_for(num_threads);
+  if (wp->size() <= 1 || shards.size() <= 1) {
+    for (const SignalShard& s : shards) sweep(s, row_of(s.channel));
+    return;
+  }
+  std::vector<std::vector<std::uint64_t>> partials(shards.size());
+  wp->run(shards.size(), [&](std::size_t i) {
+    partials[i].assign(row_size, 0);
+    sweep(shards[i], partials[i].data());
+  });
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    std::uint64_t* dst = row_of(shards[i].channel);
+    for (std::size_t k = 0; k < row_size; ++k) dst[k] += partials[i][k];
+  }
+}
+
 }  // namespace
+
+void set_analysis_threads(unsigned n) {
+  std::lock_guard<std::mutex> lock(analysis_pool_mutex);
+  analysis_request() = n;
+  analysis_pool_instance.reset();  // rebuilt lazily at the next sweep
+}
+
+unsigned analysis_threads() {
+  std::lock_guard<std::mutex> lock(analysis_pool_mutex);
+  return resolve_analysis_threads(analysis_request());
+}
+
+unsigned analysis_thread_request() {
+  std::lock_guard<std::mutex> lock(analysis_pool_mutex);
+  return analysis_request();
+}
 
 std::vector<CoincidenceHistogram> correlate_all(const EventTable& signal,
                                                 const EventTable& idler,
-                                                double bin_width_s, double range_s) {
+                                                double bin_width_s, double range_s,
+                                                int num_threads) {
   if (bin_width_s <= 0 || range_s <= 0)
     throw std::invalid_argument("correlate_all: non-positive bin width or range");
   if (signal.num_channels() != idler.num_channels())
     throw std::invalid_argument("correlate_all: channel count mismatch");
 
   const auto half_bins = static_cast<std::size_t>(std::ceil(range_s / bin_width_s));
+  const std::size_t num_bins = 2 * half_bins + 1;
   std::vector<CoincidenceHistogram> hists(signal.num_channels());
   for (auto& h : hists) {
     h.bin_width_s = bin_width_s;
     h.range_s = range_s;
-    h.counts.assign(2 * half_bins + 1, 0);
+    h.counts.assign(num_bins, 0);
   }
 
-  // Diagonal pairs only: a two-pointer pass per channel directly over the
-  // contiguous columns, no merge or copies needed.
-  for (std::size_t c = 0; c < signal.num_channels(); ++c) {
-    const double* ib = idler.channel_begin(c);
-    const double* ie = idler.channel_end(c);
-    auto& counts = hists[c].counts;
-    const double* lo = ib;
-    for (const double* a = signal.channel_begin(c); a != signal.channel_end(c); ++a) {
-      const double ta = *a;
-      while (lo != ie && *lo < ta - range_s) ++lo;
-      for (const double* j = lo; j != ie && *j <= ta + range_s; ++j) {
-        const double dt = ta - *j;
-        const auto bin = static_cast<std::int64_t>(std::llround(dt / bin_width_s)) +
-                         static_cast<std::int64_t>(half_bins);
-        if (bin >= 0 && bin < static_cast<std::int64_t>(counts.size()))
-          ++counts[static_cast<std::size_t>(bin)];
-      }
-    }
-  }
+  // Diagonal pairs only: two-pointer passes directly over the contiguous
+  // columns, sharded per signal-column chunk.
+  run_sharded(
+      signal, num_threads, num_bins,
+      [&](const SignalShard& s, std::uint64_t* counts) {
+        const double* a0 = signal.channel_begin(s.channel) + s.begin;
+        const double* a1 = signal.channel_begin(s.channel) + s.end;
+        const double* ie = idler.channel_end(s.channel);
+        const double* lo =
+            std::lower_bound(idler.channel_begin(s.channel), ie, *a0 - range_s);
+        for (const double* a = a0; a != a1; ++a) {
+          const double ta = *a;
+          while (lo != ie && *lo < ta - range_s) ++lo;
+          for (const double* j = lo; j != ie && *j <= ta + range_s; ++j) {
+            const double dt = ta - *j;
+            const auto bin = static_cast<std::int64_t>(std::llround(dt / bin_width_s)) +
+                             static_cast<std::int64_t>(half_bins);
+            if (bin >= 0 && bin < static_cast<std::int64_t>(num_bins))
+              ++counts[static_cast<std::size_t>(bin)];
+          }
+        }
+      },
+      [&](std::size_t c) { return hists[c].counts.data(); });
   return hists;
 }
 
 std::vector<std::uint64_t> coincidence_count_matrix(const EventTable& signal,
                                                     const EventTable& idler,
-                                                    double window_s, double offset_s) {
+                                                    double window_s, double offset_s,
+                                                    int num_threads) {
   if (window_s <= 0)
     throw std::invalid_argument("coincidence_count_matrix: window <= 0");
 
@@ -375,20 +492,23 @@ std::vector<std::uint64_t> coincidence_count_matrix(const EventTable& signal,
   // channel column at a time (each already sorted), which skips half the
   // merge work without changing any count.
   const MergedView i = merge_channels(idler);
-  for (std::size_t cs = 0; cs < ns; ++cs) {
-    std::size_t lo = 0;
-    for (const double* a = signal.channel_begin(cs); a != signal.channel_end(cs);
-         ++a) {
-      const double ta = *a;
-      const double center = ta - offset_s;
-      while (lo < i.t.size() && i.t[lo] < ta - reach) ++lo;
-      for (std::size_t j = lo; j < i.t.size() && i.t[j] <= ta + reach; ++j) {
-        const double tb = i.t[j];
-        if (tb >= center - half && tb <= center + half)
-          ++counts[cs * ni + i.ch[j]];
-      }
-    }
-  }
+  run_sharded(
+      signal, num_threads, ni,
+      [&](const SignalShard& s, std::uint64_t* row) {
+        const double* a0 = signal.channel_begin(s.channel) + s.begin;
+        const double* a1 = signal.channel_begin(s.channel) + s.end;
+        std::size_t lo = sweep_start(i.t, *a0, reach);
+        for (const double* a = a0; a != a1; ++a) {
+          const double ta = *a;
+          const double center = ta - offset_s;
+          while (lo < i.t.size() && i.t[lo] < ta - reach) ++lo;
+          for (std::size_t j = lo; j < i.t.size() && i.t[j] <= ta + reach; ++j) {
+            const double tb = i.t[j];
+            if (tb >= center - half && tb <= center + half) ++row[i.ch[j]];
+          }
+        }
+      },
+      [&](std::size_t c) { return counts.data() + c * ni; });
   return counts;
 }
 
@@ -400,7 +520,7 @@ const CarResult& CarMatrix::at(std::size_t s, std::size_t i) const {
 
 CarMatrix car_matrix(const EventTable& signal, const EventTable& idler,
                      double window_s, double side_window_spacing_s,
-                     int num_side_windows) {
+                     int num_side_windows, int num_threads) {
   if (window_s <= 0) throw std::invalid_argument("car_matrix: window <= 0");
   if (num_side_windows < 1)
     throw std::invalid_argument("car_matrix: need at least one side window");
@@ -435,29 +555,34 @@ CarMatrix car_matrix(const EventTable& signal, const EventTable& idler,
   std::vector<std::uint64_t> counts(result.cells.size() * stride, 0);
 
   // Merge only the idler side; sweep the signal side per contiguous
-  // channel column (see coincidence_count_matrix).
+  // channel column, sharded across the analysis workers (see
+  // coincidence_count_matrix).
+  const std::size_t ni = result.num_idler;
   const MergedView i = merge_channels(idler);
-  for (std::size_t cs = 0; cs < result.num_signal; ++cs) {
-    std::size_t lo = 0;
-    for (const double* a = signal.channel_begin(cs); a != signal.channel_end(cs);
-         ++a) {
-      const double ta = *a;
-      while (lo < i.t.size() && i.t[lo] < ta - reach) ++lo;
-      for (std::size_t j = lo; j < i.t.size() && i.t[j] <= ta + reach; ++j) {
-        const double tb = i.t[j];
-        const double dt = ta - tb;
-        const auto m =
-            static_cast<std::int64_t>(std::llround(dt / side_window_spacing_s));
-        if (m < -mmax || m > mmax) continue;
-        const int w = window_of[static_cast<std::size_t>(m + mmax)];
-        if (w < 0) continue;
-        const double center = ta - static_cast<double>(m) * side_window_spacing_s;
-        if (tb < center - half || tb > center + half) continue;
-        ++counts[(cs * result.num_idler + i.ch[j]) * stride +
-                 static_cast<std::size_t>(w)];
-      }
-    }
-  }
+  run_sharded(
+      signal, num_threads, ni * stride,
+      [&](const SignalShard& s, std::uint64_t* row) {
+        const double* a0 = signal.channel_begin(s.channel) + s.begin;
+        const double* a1 = signal.channel_begin(s.channel) + s.end;
+        std::size_t lo = sweep_start(i.t, *a0, reach);
+        for (const double* a = a0; a != a1; ++a) {
+          const double ta = *a;
+          while (lo < i.t.size() && i.t[lo] < ta - reach) ++lo;
+          for (std::size_t j = lo; j < i.t.size() && i.t[j] <= ta + reach; ++j) {
+            const double tb = i.t[j];
+            const double dt = ta - tb;
+            const auto m =
+                static_cast<std::int64_t>(std::llround(dt / side_window_spacing_s));
+            if (m < -mmax || m > mmax) continue;
+            const int w = window_of[static_cast<std::size_t>(m + mmax)];
+            if (w < 0) continue;
+            const double center = ta - static_cast<double>(m) * side_window_spacing_s;
+            if (tb < center - half || tb > center + half) continue;
+            ++row[i.ch[j] * stride + static_cast<std::size_t>(w)];
+          }
+        }
+      },
+      [&](std::size_t c) { return counts.data() + c * ni * stride; });
 
   for (std::size_t cell = 0; cell < result.cells.size(); ++cell) {
     CarResult& r = result.cells[cell];
@@ -473,6 +598,26 @@ CarMatrix car_matrix(const EventTable& signal, const EventTable& idler,
     r.car_err = r.car * std::sqrt(rel_c * rel_c + rel_a * rel_a);
   }
   return result;
+}
+
+CarMatrix EventEngine::car_matrix(const EngineResult& events, double window_s,
+                                  double side_window_spacing_s,
+                                  int num_side_windows) const {
+  return detect::car_matrix(events.signal, events.idler, window_s,
+                            side_window_spacing_s, num_side_windows,
+                            cfg_.analysis_threads);
+}
+
+std::vector<CoincidenceHistogram> EventEngine::correlate_all(
+    const EngineResult& events, double bin_width_s, double range_s) const {
+  return detect::correlate_all(events.signal, events.idler, bin_width_s, range_s,
+                               cfg_.analysis_threads);
+}
+
+std::vector<std::uint64_t> EventEngine::coincidence_count_matrix(
+    const EngineResult& events, double window_s, double offset_s) const {
+  return detect::coincidence_count_matrix(events.signal, events.idler, window_s,
+                                          offset_s, cfg_.analysis_threads);
 }
 
 }  // namespace qfc::detect

@@ -15,9 +15,13 @@
 /// Determinism contract: EventEngine::run derives one RNG per channel by
 /// forking a master generator in channel order *before* any parallel work
 /// starts, and every channel's pipeline consumes only its own generator.
-/// Worker threads claim whole channels and write into per-channel slots,
-/// so the output is bitwise identical for every value of
-/// EngineConfig::num_threads at a fixed seed.
+/// Worker threads (a qfc::parallel::WorkerPool) claim whole channels and
+/// write into per-channel slots, so the output is bitwise identical for
+/// every value of EngineConfig::num_threads at a fixed seed. The batched
+/// analysis sweeps below carry the same contract: signal columns are
+/// sharded into fixed-size chunks whose per-cell integer counts merge
+/// additively in chunk order, so car_matrix/coincidence_count_matrix/
+/// correlate_all are bitwise identical at every analysis thread count.
 
 #include <cstdint>
 #include <vector>
@@ -104,6 +108,13 @@ struct EngineConfig {
   /// Worker threads for the per-channel passes; 0 = hardware concurrency.
   /// Output is bitwise independent of this value (see file comment).
   int num_threads = 0;
+  /// Worker threads for the merge-sweep analysis helpers below
+  /// (car_matrix/coincidence_count_matrix/correlate_all called through this
+  /// engine); 0 = the process-wide setting (QFC_ENGINE_ANALYSIS_THREADS,
+  /// else hardware concurrency). Output is bitwise independent of this
+  /// value: the sweeps shard signal columns into fixed-size chunks and merge
+  /// per-cell additive partial counts in chunk order.
+  int analysis_threads = 0;
 };
 
 /// Click tables for the two detector banks; channel c of each table is
@@ -124,23 +135,54 @@ class EventEngine {
   /// efficiency/jitter, dark counts, sort, dead time.
   EngineResult run(const std::vector<ChannelPairSpec>& channels) const;
 
+  /// Batched analysis bound to this engine's config: forwards to the free
+  /// functions below with EngineConfig::analysis_threads.
+  struct CarMatrix car_matrix(const EngineResult& events, double window_s,
+                              double side_window_spacing_s,
+                              int num_side_windows = 10) const;
+  std::vector<CoincidenceHistogram> correlate_all(const EngineResult& events,
+                                                  double bin_width_s,
+                                                  double range_s) const;
+  std::vector<std::uint64_t> coincidence_count_matrix(const EngineResult& events,
+                                                      double window_s,
+                                                      double offset_s = 0.0) const;
+
  private:
   EngineConfig cfg_;
 };
 
+/// Process-wide worker-thread request for the merge-sweep analysis kernels
+/// (0 = auto: one per hardware thread; initial value settable via the
+/// QFC_ENGINE_ANALYSIS_THREADS environment variable, read once at first
+/// use). Changing the count never changes results — only wall-clock.
+void set_analysis_threads(unsigned n);
+
+/// Resolved analysis worker count (the request, or hardware concurrency
+/// when the request is 0).
+unsigned analysis_threads();
+
+/// The raw request last passed to set_analysis_threads (or
+/// QFC_ENGINE_ANALYSIS_THREADS at startup): 0 means auto.
+unsigned analysis_thread_request();
+
 /// Δt histograms for the diagonal (signal k, idler k) channel pairs, all
-/// built in one merge-sweep over the two tables.
+/// built in one merge-sweep over the two tables. `num_threads` selects the
+/// sharded-sweep worker count (0 = the process-wide analysis setting);
+/// counts are bitwise identical at every thread count.
 std::vector<CoincidenceHistogram> correlate_all(const EventTable& signal,
                                                 const EventTable& idler,
-                                                double bin_width_s, double range_s);
+                                                double bin_width_s, double range_s,
+                                                int num_threads = 0);
 
 /// Windowed coincidence counts (|t_s - t_i - offset| <= window/2) for every
 /// (signal channel, idler channel) combination in a single merge-sweep.
-/// Row-major: count[s * idler.num_channels() + i].
+/// Row-major: count[s * idler.num_channels() + i]. Threading as in
+/// correlate_all.
 std::vector<std::uint64_t> coincidence_count_matrix(const EventTable& signal,
                                                     const EventTable& idler,
                                                     double window_s,
-                                                    double offset_s = 0.0);
+                                                    double offset_s = 0.0,
+                                                    int num_threads = 0);
 
 struct CarMatrix {
   std::size_t num_signal = 0;
@@ -153,9 +195,11 @@ struct CarMatrix {
 /// measure_car for every signal x idler combination in a single
 /// merge-sweep: peak window plus `num_side_windows` accidental windows at
 /// multiples of `side_window_spacing_s` (alternating sides), with the same
-/// counting and error semantics as measure_car.
+/// counting and error semantics as measure_car. The sweep shards the signal
+/// columns across `num_threads` workers (0 = the process-wide analysis
+/// setting); every cell is bitwise identical at every thread count.
 CarMatrix car_matrix(const EventTable& signal, const EventTable& idler,
                      double window_s, double side_window_spacing_s,
-                     int num_side_windows = 10);
+                     int num_side_windows = 10, int num_threads = 0);
 
 }  // namespace qfc::detect

@@ -9,7 +9,8 @@
 ///    available, exhaustively tested, the accuracy baseline.
 ///  - Blocked: cache-blocked GEMM with a transposed-B micro-kernel, and
 ///    round-robin ("chess tournament") parallel Jacobi eig / one-sided
-///    Jacobi SVD on a reusable WorkerPool. Every rotation round partitions
+///    Jacobi SVD on the shared qfc::parallel::WorkerPool (see
+///    src/qfc/parallel/README.md). Every rotation round partitions
 ///    the matrix into disjoint row/column pairs, so the task-to-thread
 ///    assignment cannot change any floating-point operation order: results
 ///    are bitwise identical for every thread count (the same determinism

@@ -1,6 +1,7 @@
 // Blocked backend kernels: cache-blocked GEMM with a transposed-B
 // micro-kernel, and round-robin ("chess tournament") parallel Jacobi
-// eigendecomposition / one-sided Jacobi SVD on the shared WorkerPool.
+// eigendecomposition / one-sided Jacobi SVD on the shared
+// qfc::parallel::WorkerPool (see src/qfc/parallel/README.md).
 //
 // Determinism: every rotation round partitions the matrix into disjoint
 // row/column pairs, each updated by exactly one task reading only data no
@@ -22,13 +23,15 @@
 
 #include "qfc/linalg/backend.hpp"
 #include "qfc/linalg/error.hpp"
-#include "qfc/linalg/worker_pool.hpp"
+#include "qfc/parallel/worker_pool.hpp"
 
 namespace qfc::linalg {
 
 namespace {
 
 // ------------------------------------------------------------- worker pool
+
+using parallel::WorkerPool;
 
 std::mutex pool_mutex;
 std::shared_ptr<WorkerPool> pool_instance;
@@ -139,22 +142,19 @@ void blocked_gemm_threaded(const RMat& a, const RMat& b, RMat& c) {
     const double* brow = b.data() + k * n;
     for (std::size_t j = 0; j < n; ++j) bt[j * kk + k] = brow[j];
   }
-  const std::size_t num_tasks = (m + kGemmRowChunk - 1) / kGemmRowChunk;
   const auto wp = pool();
-  wp->run(num_tasks, [&](std::size_t task) {
-    const std::size_t i0 = task * kGemmRowChunk;
-    gemm_kernel_rows(a, bt, c, i0, std::min(i0 + kGemmRowChunk, m));
-  });
+  parallel::parallel_for_chunks(*wp, m, kGemmRowChunk,
+                                [&](std::size_t, std::size_t i0, std::size_t i1) {
+                                  gemm_kernel_rows(a, bt, c, i0, i1);
+                                });
 }
 
 void blocked_gemm_threaded(const CMat& a, const CMat& b, CMat& c) {
-  const std::size_t m = a.rows();
-  const std::size_t num_tasks = (m + kGemmRowChunk - 1) / kGemmRowChunk;
   const auto wp = pool();
-  wp->run(num_tasks, [&](std::size_t task) {
-    const std::size_t i0 = task * kGemmRowChunk;
-    gemm_kernel_rows(a, b, c, i0, std::min(i0 + kGemmRowChunk, m));
-  });
+  parallel::parallel_for_chunks(*wp, a.rows(), kGemmRowChunk,
+                                [&](std::size_t, std::size_t i0, std::size_t i1) {
+                                  gemm_kernel_rows(a, b, c, i0, i1);
+                                });
 }
 
 template <class T>

@@ -1,6 +1,9 @@
-#include "qfc/linalg/worker_pool.hpp"
+#include "qfc/parallel/worker_pool.hpp"
 
-namespace qfc::linalg {
+#include <algorithm>
+#include <stdexcept>
+
+namespace qfc::parallel {
 
 WorkerPool::WorkerPool(unsigned num_threads) {
   const unsigned spawned = num_threads > 1 ? num_threads - 1 : 0;
@@ -77,4 +80,17 @@ void WorkerPool::run(std::size_t num_tasks, const std::function<void(std::size_t
   if (error_) std::rethrow_exception(error_);
 }
 
-}  // namespace qfc::linalg
+void parallel_for_chunks(WorkerPool& pool, std::size_t n, std::size_t chunk_size,
+                         const std::function<void(std::size_t, std::size_t,
+                                                  std::size_t)>& fn) {
+  if (chunk_size == 0)
+    throw std::invalid_argument("parallel_for_chunks: chunk_size == 0");
+  if (n == 0) return;
+  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  pool.run(num_chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * chunk_size;
+    fn(chunk, begin, std::min(begin + chunk_size, n));
+  });
+}
+
+}  // namespace qfc::parallel

@@ -1,17 +1,21 @@
 #pragma once
 
 /// \file worker_pool.hpp
-/// Persistent worker pool used by the Blocked linalg backend for its
-/// parallel rotation rounds. A pool is created once and reused across
-/// thousands of small fork/join rounds, so dispatch must be cheap: one
-/// mutex/condvar handshake per round, tasks claimed via an atomic counter.
+/// Persistent worker pool shared by every threaded subsystem: the Blocked
+/// linalg backend uses it for its parallel rotation rounds and GEMM row
+/// chunks, detect::EventEngine for its per-channel generation fan-out and
+/// the sharded merge-sweep analysis kernels. A pool is created once and
+/// reused across thousands of small fork/join rounds, so dispatch must be
+/// cheap: one mutex/condvar handshake per round, tasks claimed via an
+/// atomic counter.
 ///
 /// Determinism contract: the pool itself guarantees nothing about ordering —
 /// callers must split work into tasks that write disjoint data and read only
-/// data no other task of the same round writes. Under that discipline the
+/// data no other task of the same round writes (or merge per-task partial
+/// results in a fixed task order after the join). Under that discipline the
 /// task-to-thread assignment cannot change any floating-point operation
-/// order, so results are bitwise identical for every pool size (the same
-/// contract detect::EventEngine follows).
+/// order, so results are bitwise identical for every pool size. See
+/// src/qfc/parallel/README.md for the contract and the pool-ownership map.
 
 #include <atomic>
 #include <condition_variable>
@@ -23,7 +27,7 @@
 #include <thread>
 #include <vector>
 
-namespace qfc::linalg {
+namespace qfc::parallel {
 
 class WorkerPool {
  public:
@@ -63,4 +67,14 @@ class WorkerPool {
   bool stop_ = false;
 };
 
-}  // namespace qfc::linalg
+/// Deterministic chunked parallel-for: splits [0, n) into contiguous chunks
+/// of at most `chunk_size` and runs fn(chunk_index, begin, end) for each on
+/// the pool. Chunk boundaries depend only on (n, chunk_size) — never on the
+/// pool size — so a caller whose chunks write disjoint data (or that merges
+/// per-chunk partial results in chunk order) is bitwise invariant across
+/// worker counts for free.
+void parallel_for_chunks(WorkerPool& pool, std::size_t n, std::size_t chunk_size,
+                         const std::function<void(std::size_t chunk, std::size_t begin,
+                                                  std::size_t end)>& fn);
+
+}  // namespace qfc::parallel

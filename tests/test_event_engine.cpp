@@ -466,6 +466,125 @@ TEST(BatchedAnalysis, CountMatrixMatchesLegacy) {
   }
 }
 
+// ------------------------------------------------- sharded analysis threading
+
+/// Restores the process-wide analysis thread request on scope exit so tests
+/// cannot leak configuration into each other (or clobber an operator's
+/// QFC_ENGINE_ANALYSIS_THREADS setting).
+struct AnalysisThreadsGuard {
+  unsigned request = detect::analysis_thread_request();
+  ~AnalysisThreadsGuard() { detect::set_analysis_threads(request); }
+};
+
+void expect_car_matrices_equal(const detect::CarMatrix& a, const detect::CarMatrix& b,
+                               const char* what) {
+  ASSERT_EQ(a.num_signal, b.num_signal) << what;
+  ASSERT_EQ(a.num_idler, b.num_idler) << what;
+  ASSERT_EQ(a.cells.size(), b.cells.size()) << what;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    // Exact (bitwise) double comparison on purpose: the sharded sweep must
+    // reproduce the single-threaded counts, not approximate them.
+    EXPECT_EQ(a.cells[i].coincidences, b.cells[i].coincidences) << what << " cell " << i;
+    EXPECT_EQ(a.cells[i].accidentals, b.cells[i].accidentals) << what << " cell " << i;
+    EXPECT_EQ(a.cells[i].car, b.cells[i].car) << what << " cell " << i;
+    EXPECT_EQ(a.cells[i].car_err, b.cells[i].car_err) << what << " cell " << i;
+  }
+}
+
+/// Long enough that each busy channel spans several 16384-event shards, and
+/// with an empty channel so the zero-shard edge case is exercised too.
+EngineResult sharded_analysis_table() {
+  auto specs = test_specs(3);
+  ChannelPairSpec empty;
+  empty.pair_rate_hz = 0;
+  empty.linewidth_hz = 100e6;
+  empty.detector_signal.dark_rate_hz = 0;
+  empty.detector_idler.dark_rate_hz = 0;
+  specs.push_back(empty);
+  EngineConfig ec;
+  ec.duration_s = 4.0;
+  ec.seed = 77;
+  return EventEngine(ec).run(specs);
+}
+
+TEST(ShardedAnalysis, CarMatrixBitwiseInvariantAcrossThreadCounts) {
+  const EngineResult res = sharded_analysis_table();
+  const double window = 8e-9, spacing = 100e-9;
+  const auto one = detect::car_matrix(res.signal, res.idler, window, spacing, 10,
+                                      /*num_threads=*/1);
+  for (const int threads : {2, 4}) {
+    const auto many =
+        detect::car_matrix(res.signal, res.idler, window, spacing, 10, threads);
+    expect_car_matrices_equal(one, many,
+                              threads == 2 ? "2 threads" : "4 threads");
+  }
+}
+
+TEST(ShardedAnalysis, CorrelateAllBitwiseInvariantAcrossThreadCounts) {
+  const EngineResult res = sharded_analysis_table();
+  const auto one = detect::correlate_all(res.signal, res.idler, 1e-9, 50e-9,
+                                         /*num_threads=*/1);
+  for (const int threads : {2, 4}) {
+    const auto many = detect::correlate_all(res.signal, res.idler, 1e-9, 50e-9, threads);
+    ASSERT_EQ(one.size(), many.size());
+    for (std::size_t c = 0; c < one.size(); ++c)
+      EXPECT_EQ(one[c].counts, many[c].counts) << "channel " << c << ", " << threads
+                                               << " threads";
+  }
+}
+
+TEST(ShardedAnalysis, CountMatrixBitwiseInvariantAcrossThreadCounts) {
+  const EngineResult res = sharded_analysis_table();
+  const auto one =
+      detect::coincidence_count_matrix(res.signal, res.idler, 8e-9, 50e-9, 1);
+  for (const int threads : {2, 4})
+    EXPECT_EQ(one, detect::coincidence_count_matrix(res.signal, res.idler, 8e-9, 50e-9,
+                                                    threads))
+        << threads << " threads";
+}
+
+TEST(ShardedAnalysis, ProcessWideSettingControlsTheDefaultPath) {
+  AnalysisThreadsGuard guard;
+  detect::set_analysis_threads(3);
+  EXPECT_EQ(detect::analysis_thread_request(), 3u);
+  EXPECT_EQ(detect::analysis_threads(), 3u);
+
+  const EngineResult res = sharded_analysis_table();
+  const auto pinned = detect::car_matrix(res.signal, res.idler, 8e-9, 100e-9, 10, 1);
+  // num_threads = 0 routes through the process-wide request (the façades'
+  // zero-call-site-change path) and must produce the same cells.
+  const auto via_default = detect::car_matrix(res.signal, res.idler, 8e-9, 100e-9);
+  expect_car_matrices_equal(pinned, via_default, "process-wide default");
+
+  detect::set_analysis_threads(0);
+  EXPECT_EQ(detect::analysis_thread_request(), 0u);
+  EXPECT_GE(detect::analysis_threads(), 1u);  // auto resolves to hardware
+}
+
+TEST(ShardedAnalysis, EngineBoundHelpersHonorConfig) {
+  EngineConfig ec;
+  ec.duration_s = 4.0;
+  ec.seed = 77;
+  ec.analysis_threads = 2;
+  const EventEngine engine(ec);
+  const EngineResult res = engine.run(test_specs(3));
+
+  expect_car_matrices_equal(
+      detect::car_matrix(res.signal, res.idler, 8e-9, 100e-9, 10, 1),
+      engine.car_matrix(res, 8e-9, 100e-9), "engine helper");
+  const auto hists = engine.correlate_all(res, 1e-9, 50e-9);
+  const auto hists1 = detect::correlate_all(res.signal, res.idler, 1e-9, 50e-9, 1);
+  ASSERT_EQ(hists.size(), hists1.size());
+  for (std::size_t c = 0; c < hists.size(); ++c)
+    EXPECT_EQ(hists[c].counts, hists1[c].counts);
+  EXPECT_EQ(engine.coincidence_count_matrix(res, 8e-9),
+            detect::coincidence_count_matrix(res.signal, res.idler, 8e-9, 0.0, 1));
+
+  EngineConfig bad;
+  bad.analysis_threads = -1;
+  EXPECT_THROW(EventEngine{bad}, std::invalid_argument);
+}
+
 TEST(BatchedAnalysis, ValidationErrors) {
   const EventTable empty = EventTable::from_columns({{}});
   EXPECT_THROW(detect::car_matrix(empty, empty, 0.0, 1e-7), std::invalid_argument);
@@ -476,6 +595,10 @@ TEST(BatchedAnalysis, ValidationErrors) {
   EXPECT_THROW(detect::correlate_all(empty, two, 1e-9, 1e-8), std::invalid_argument);
   EXPECT_THROW(detect::coincidence_count_matrix(empty, empty, -1e-9),
                std::invalid_argument);
+  const EventTable one = EventTable::from_columns({{1.0}});
+  EXPECT_THROW(detect::car_matrix(one, one, 1e-8, 1e-7, 10, /*num_threads=*/-1),
+               std::invalid_argument);
+  EXPECT_THROW(detect::correlate_all(one, one, 1e-9, 1e-8, -2), std::invalid_argument);
 }
 
 // ------------------------------------------------- engine-backed core checks

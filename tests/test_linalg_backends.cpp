@@ -222,6 +222,46 @@ TEST(BackendDeterminism, BitwiseIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(BackendDeterminism, BlockedKernelsUnchangedAfterPoolRelocation) {
+  // Regression pin for the WorkerPool move from src/qfc/linalg/ to the
+  // shared src/qfc/parallel/ module (and the GEMM fan-out's switch to
+  // parallel::parallel_for_chunks): on fresh seeded inputs, the Blocked
+  // kernels must still match Reference to 1e-10 and stay bitwise invariant
+  // from 1 worker to many, including a worker count that does not divide
+  // the row-chunk count.
+  BackendGuard guard;
+  const CMat h = random_hermitian(56, 71);
+  const CMat a = random_matrix(83, 61, 72);
+  const CMat b = random_matrix(61, 77, 73);
+  const auto& blk = backend(BackendKind::Blocked);
+  const auto& ref = backend(BackendKind::Reference);
+
+  qfc::linalg::set_backend_threads(1);
+  const auto eig1 = blk.hermitian_eig(h, {});
+  const auto svd1 = blk.svd(a, 96);
+  CMat gemm1(83, 77);
+  blk.gemm(a, b, gemm1);
+
+  qfc::linalg::set_backend_threads(5);
+  const auto eig5 = blk.hermitian_eig(h, {});
+  const auto svd5 = blk.svd(a, 96);
+  CMat gemm5(83, 77);
+  blk.gemm(a, b, gemm5);
+
+  EXPECT_EQ(eig1.values, eig5.values);
+  EXPECT_EQ(eig1.vectors, eig5.vectors);
+  EXPECT_EQ(svd1.sigma, svd5.sigma);
+  EXPECT_EQ(svd1.u, svd5.u);
+  EXPECT_EQ(gemm1, gemm5);
+
+  const auto eig_ref = ref.hermitian_eig(h, {});
+  for (std::size_t i = 0; i < eig_ref.values.size(); ++i)
+    EXPECT_NEAR(eig_ref.values[i], eig1.values[i], 1e-10);
+  CMat gemm_ref(83, 77);
+  ref.gemm(a, b, gemm_ref);
+  EXPECT_LT(max_abs_diff(gemm_ref, gemm1), 1e-10);
+}
+
 // ------------------------------------------------- consumers stay green
 
 TEST(BackendIntegration, MatrixFunctionsUnderBlockedBackend) {
