@@ -18,17 +18,39 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "bench_util.hpp"
 #include "qfc/detect/coincidence.hpp"
 #include "qfc/detect/detector.hpp"
 #include "qfc/detect/event_engine.hpp"
 #include "qfc/detect/event_stream.hpp"
+#include "qfc/obs/obs.hpp"
 #include "qfc/rng/xoshiro.hpp"
 
 namespace {
 
 using namespace qfc;
 using Clock = std::chrono::steady_clock;
+
+/// Peak resident set size so far (getrusage ru_maxrss, kilobytes on Linux),
+/// or 0 where unavailable — groundwork for the streaming engine's fixed-RSS
+/// claim: the full-table rows recorded here are the baseline to beat.
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+    return ru.ru_maxrss / 1024;  // macOS reports bytes
+#else
+    return ru.ru_maxrss;
+#endif
+  }
+#endif
+  return 0;
+}
 
 constexpr double kWindow = 8e-9;
 constexpr double kSpacing = 100e-9;
@@ -127,12 +149,14 @@ std::vector<detect::CarResult> legacy_car_matrix(
 }
 
 detect::CarMatrix engine_car_matrix(const std::vector<detect::ChannelPairSpec>& specs,
-                                    double duration_s, int num_threads) {
+                                    double duration_s, int num_threads,
+                                    std::size_t* total_events = nullptr) {
   detect::EngineConfig ec;
   ec.duration_s = duration_s;
   ec.seed = kSeed;
   ec.num_threads = num_threads;
   const detect::EngineResult events = detect::EventEngine(ec).run(specs);
+  if (total_events != nullptr) *total_events = events.signal.size() + events.idler.size();
   return detect::car_matrix(events.signal, events.idler, kWindow, kSpacing);
 }
 
@@ -152,6 +176,9 @@ struct Row {
   double engine_ms = 0;
   double speedup = 0;
   bool identical = false;
+  std::size_t events = 0;       ///< detected clicks in the engine tables
+  double events_per_sec = 0;    ///< clicks through generate+analyze per wall second
+  long max_rss_kb = 0;          ///< peak RSS after this row (monotonic across rows)
 };
 
 /// Engine-only row for the pulsed / piecewise emission modes (no legacy
@@ -254,6 +281,10 @@ int main(int argc, char** argv) {
   const auto [smoke, json_path] =
       bench::parse_flags(argc, argv, "BENCH_event_engine.json");
 
+  // Run-scoped metrics aggregate for the "obs" envelope member. Stays empty
+  // unless obs is enabled (QFC_OBS_TRACE / QFC_OBS_METRICS, see --help).
+  const obs::RunReport obs_report;
+
   bench::header("P1  bench_event_engine",
                 "batched columnar engine >= 5x faster than the legacy "
                 "per-channel path on a 10-pair coincidence matrix, bitwise "
@@ -265,8 +296,8 @@ int main(int argc, char** argv) {
 
   std::printf("duration per run: %.2f s, window %.0f ns, spacing %.0f ns\n",
               duration_s, kWindow * 1e9, kSpacing * 1e9);
-  std::printf("%6s %12s %12s %9s %10s\n", "n", "legacy[ms]", "engine[ms]", "speedup",
-              "identical");
+  std::printf("%6s %12s %12s %9s %10s %17s %12s\n", "n", "legacy[ms]", "engine[ms]",
+              "speedup", "identical", "throughput", "peak RSS");
 
   std::vector<Row> rows;
   double speedup_n10 = 0;
@@ -279,7 +310,9 @@ int main(int argc, char** argv) {
     const double legacy_ms = ms_since(t0);
 
     t0 = Clock::now();
-    const auto engine = engine_car_matrix(specs, duration_s, /*num_threads=*/0);
+    std::size_t total_events = 0;
+    const auto engine = engine_car_matrix(specs, duration_s, /*num_threads=*/0,
+                                          &total_events);
     const double engine_ms = ms_since(t0);
 
     Row row;
@@ -288,12 +321,17 @@ int main(int argc, char** argv) {
     row.engine_ms = engine_ms;
     row.speedup = engine_ms > 0 ? legacy_ms / engine_ms : 0;
     row.identical = cells_identical(legacy, engine);
+    row.events = total_events;
+    row.events_per_sec =
+        engine_ms > 0 ? static_cast<double>(total_events) / (engine_ms / 1e3) : 0;
+    row.max_rss_kb = peak_rss_kb();
     rows.push_back(row);
     all_identical = all_identical && row.identical;
     if (n == 10) speedup_n10 = row.speedup;
 
-    std::printf("%6d %12.1f %12.1f %8.1fx %10s\n", n, legacy_ms, engine_ms,
-                row.speedup, row.identical ? "yes" : "NO");
+    std::printf("%6d %12.1f %12.1f %8.1fx %10s %12.3g ev/s %9ld KB\n", n, legacy_ms,
+                engine_ms, row.speedup, row.identical ? "yes" : "NO",
+                row.events_per_sec, row.max_rss_kb);
   }
 
   // Determinism: same seed, different thread counts -> bitwise equal tables.
@@ -350,8 +388,10 @@ int main(int argc, char** argv) {
   for (const Row& r : rows)
     json_rows.push_back(bench::format(
         "{\"emission\": \"cw\", \"n\": %d, \"legacy_ms\": %.3f, \"engine_ms\": %.3f, "
-        "\"speedup\": %.3f, \"identical\": %s}",
-        r.n, r.legacy_ms, r.engine_ms, r.speedup, r.identical ? "true" : "false"));
+        "\"speedup\": %.3f, \"identical\": %s, \"events\": %zu, "
+        "\"events_per_sec\": %.1f, \"max_rss_kb\": %ld}",
+        r.n, r.legacy_ms, r.engine_ms, r.speedup, r.identical ? "true" : "false",
+        r.events, r.events_per_sec, r.max_rss_kb));
   for (const ModeRow& r : mode_rows)
     json_rows.push_back(bench::format(
         "{\"emission\": \"%s\", \"n\": %d, \"engine_ms\": %.3f, \"deterministic\": %s}",
@@ -366,7 +406,9 @@ int main(int argc, char** argv) {
                     {bench::format("\"duration_s\": %.3f", duration_s),
                      bench::format("\"speedup_n10\": %.3f", speedup_n10),
                      bench::format("\"deterministic\": %s",
-                                   deterministic ? "true" : "false")});
+                                   deterministic ? "true" : "false"),
+                     bench::format("\"max_rss_kb\": %ld", peak_rss_kb()),
+                     "\"obs\": " + obs_report.json_object()});
 
   // Exit code gates on correctness only (cell identity + thread-count
   // determinism in every emission mode and in the sharded analysis sweep);

@@ -20,6 +20,7 @@
 #include "bench_util.hpp"
 #include "qfc/linalg/backend.hpp"
 #include "qfc/linalg/matrix.hpp"
+#include "qfc/obs/obs.hpp"
 
 namespace {
 
@@ -144,6 +145,11 @@ bool check_thread_invariance(std::size_t n) {
 int main(int argc, char** argv) {
   const auto [smoke, json_path] = bench::parse_flags(argc, argv, "BENCH_linalg.json");
 
+  // Run-scoped metrics aggregate for the "obs" envelope member (kernel
+  // calls, GEMM flops, Jacobi sweeps/rotations — see src/qfc/obs/README.md).
+  // Empty unless obs is enabled via QFC_OBS_TRACE / QFC_OBS_METRICS.
+  const obs::RunReport obs_report;
+
   bench::header("P2  bench_linalg_backends",
                 "Blocked backend >= 3x faster than Reference for hermitian_eig "
                 "at n=128 on a multi-core host, eigen/singular values matching "
@@ -188,7 +194,8 @@ int main(int argc, char** argv) {
   bench::write_json(json_path, "linalg_backends", smoke, json_rows,
                     {bench::format("\"speedup_eig_n128\": %.3f", speedup_eig_n128),
                      bench::format("\"deterministic\": %s",
-                                   deterministic ? "true" : "false")});
+                                   deterministic ? "true" : "false"),
+                     "\"obs\": " + obs_report.json_object()});
 
   // Exit code gates on correctness only (value parity + thread-count
   // determinism); the speedup target is reported but not allowed to fail

@@ -54,7 +54,19 @@ inline Flags parse_flags(int argc, char** argv, const char* default_json) {
           "the thread-scaling \"speedup_vs_1t\" rows) plus the\n"
           "identical/match/deterministic flags, which must never go false.\n"
           "Rows are matched on kernel/emission/threads/n, so the 1/2/4-worker\n"
-          "thread-scaling rows gate independently.\n",
+          "thread-scaling rows gate independently.\n"
+          "\n"
+          "observability (qfc::obs — see src/qfc/obs/README.md):\n"
+          "  QFC_OBS_TRACE=PATH    record tracing spans (engine.generate,\n"
+          "                        pool.work, linalg kernels, ...) and write a\n"
+          "                        Chrome trace-event JSON to PATH at exit;\n"
+          "                        open it in chrome://tracing or Perfetto.\n"
+          "  QFC_OBS_METRICS=PATH  record counters/gauges/histograms (per-worker\n"
+          "                        busy-ns, GEMM flops, Jacobi rotations, ...)\n"
+          "                        and write the registry JSON to PATH at exit.\n"
+          "Either variable also embeds a run-scoped \"obs\" metrics snapshot in\n"
+          "the bench's JSON envelope. Both default off; when unset the\n"
+          "instrumentation is one relaxed-atomic branch and rows are unaffected.\n",
           argv[0], default_json);
       std::exit(0);
     }

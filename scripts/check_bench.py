@@ -31,7 +31,11 @@ Instead it gates on what stays meaningful across machines:
 
 Rows are matched on the stable identity fields (``kernel``, ``emission``,
 ``threads``, ``n``); extra candidate rows (new coverage) only warn. Extra
-fields are ignored. stdlib only — runs anywhere python3 exists.
+fields are ignored by the gate. Observability fields the benches emit —
+``events_per_sec``/``max_rss_kb`` row columns and the run-scoped ``obs``
+metrics snapshot (see src/qfc/obs/README.md) — are *surfaced* as info lines
+but never gated: they are context for reading a regression, not a gate.
+stdlib only — runs anywhere python3 exists.
 
 Usage:
   scripts/check_bench.py BASELINE CANDIDATE [--max-slowdown 0.35]
@@ -118,6 +122,52 @@ def compare_fields(key_label, brow, crow, args, errors):
                 )
 
 
+def surface_observability(cand):
+    """Render the candidate's non-gated observability fields as info lines:
+    throughput/RSS ranges across rows plus a one-line digest of the embedded
+    ``obs`` metrics snapshot. Purely informational — never produces errors."""
+    lines = []
+    eps = [
+        r["events_per_sec"]
+        for r in cand["rows"]
+        if isinstance(r.get("events_per_sec"), (int, float))
+        and not isinstance(r.get("events_per_sec"), bool)
+    ]
+    if eps:
+        lines.append(
+            f"throughput {min(eps):,.0f} .. {max(eps):,.0f} events/s across "
+            f"{len(eps)} rows"
+        )
+    rss = [
+        r["max_rss_kb"]
+        for r in cand["rows"]
+        if isinstance(r.get("max_rss_kb"), (int, float))
+        and not isinstance(r.get("max_rss_kb"), bool)
+    ]
+    top_rss = cand.get("max_rss_kb")
+    if isinstance(top_rss, (int, float)) and not isinstance(top_rss, bool):
+        rss.append(top_rss)
+    if rss:
+        lines.append(f"peak RSS {max(rss):,.0f} KB")
+    obs = cand.get("obs")
+    if isinstance(obs, dict):
+        counters = obs.get("counters") or {}
+        if obs.get("enabled") and counters:
+            busy = sum(
+                v for k, v in counters.items() if k.startswith("parallel.worker_busy_ns.")
+            )
+            digest = f"obs snapshot: {len(counters)} counters"
+            if busy:
+                digest += f", total worker busy {busy / 1e6:,.0f} ms"
+            flops = sum(v for k, v in counters.items() if k.endswith(".gemm.flops"))
+            if flops:
+                digest += f", {flops:,} gemm flops"
+            lines.append(digest)
+        else:
+            lines.append("obs snapshot present but disabled (set QFC_OBS_METRICS)")
+    return lines
+
+
 def check(args):
     base = load(args.baseline)
     cand = load(args.candidate)
@@ -157,6 +207,8 @@ def check(args):
             warnings.append(f"row [{fmt_key(key)}] is new (not in baseline)")
 
     name = base.get("bench", args.baseline)
+    for line in surface_observability(cand):
+        print(f"check_bench[{name}]: info: {line}")
     for w in warnings:
         print(f"check_bench[{name}]: warning: {w}")
     for e in errors:

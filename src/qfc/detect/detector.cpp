@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "qfc/detect/event_stream.hpp"
+#include "qfc/obs/obs.hpp"
 #include "qfc/rng/distributions.hpp"
 
 namespace qfc::detect {
@@ -56,6 +57,8 @@ std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arri
   // time order, so a linear merge replaces concatenate-and-resort.
   if (params_.dark_rate_hz > 0) {
     const auto darks = generate_poisson_arrivals(params_.dark_rate_hz, duration_s, g);
+    if (obs::metrics_enabled())
+      obs::counter("detect.darks_injected").add(darks.size());
     std::vector<double> merged(clicks.size() + darks.size());
     std::merge(clicks.begin(), clicks.end(), darks.begin(), darks.end(),
                merged.begin());
@@ -65,6 +68,8 @@ std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arri
   // Caller-supplied darks (piecewise-rate schedules): direct click times,
   // merged like the internal homogeneous pass above.
   if (!extra_darks.empty()) {
+    if (obs::metrics_enabled())
+      obs::counter("detect.darks_injected").add(extra_darks.size());
     std::vector<double> merged(clicks.size() + extra_darks.size());
     std::merge(clicks.begin(), clicks.end(), extra_darks.begin(), extra_darks.end(),
                merged.begin());

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "qfc/detect/event_stream.hpp"
+#include "qfc/obs/obs.hpp"
 #include "qfc/parallel/worker_pool.hpp"
 #include "qfc/rng/xoshiro.hpp"
 
@@ -124,8 +125,22 @@ ChannelPlan make_plan(const ChannelPairSpec& spec, double duration_s) {
 
 }  // namespace
 
+namespace {
+
+const char* emission_name(EmissionMode mode) {
+  switch (mode) {
+    case EmissionMode::Cw: return "engine.emission.cw";
+    case EmissionMode::Pulsed: return "engine.emission.pulsed";
+    case EmissionMode::PiecewiseRates: return "engine.emission.piecewise";
+  }
+  return "engine.emission.unknown";
+}
+
+}  // namespace
+
 EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) const {
   const std::size_t n = channels.size();
+  QFC_OBS_SPAN("engine.run", {{"channels", n}});
 
   // Validate and pre-fork everything serially, in channel order, so the
   // parallel section below is schedule-independent: channel c's results
@@ -153,6 +168,7 @@ EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) cons
   std::vector<std::vector<double>> sig_cols(n), idl_cols(n);
 
   const auto process_channel = [&](std::size_t c) {
+    QFC_OBS_SPAN("engine.generate", {{"channel", c}});
     rng::Xoshiro256& g = gens[c];
     const ChannelPairSpec& spec = channels[c];
     const ChannelPlan& plan = plans[c];
@@ -168,6 +184,10 @@ EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) cons
       case EmissionMode::PiecewiseRates:
         photons = generate_piecewise_pair_arrivals(plan.piecewise, g);
         break;
+    }
+    if (obs::metrics_enabled()) {
+      obs::counter(emission_name(plan.mode)).increment();
+      obs::counter("engine.events_generated").add(photons.a.size() + photons.b.size());
     }
 
     // Both the pair arrivals and the background stream are sorted, so a
@@ -208,6 +228,8 @@ EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) cons
       sig_cols[c] = det_s[c].detect(photons.a, cfg_.duration_s, g);
       idl_cols[c] = det_i[c].detect(photons.b, cfg_.duration_s, g);
     }
+    if (obs::metrics_enabled())
+      obs::counter("engine.clicks_kept").add(sig_cols[c].size() + idl_cols[c].size());
   };
 
   unsigned num_threads = cfg_.num_threads > 0
@@ -239,6 +261,7 @@ struct MergedView {
 };
 
 MergedView merge_channels(const EventTable& table) {
+  QFC_OBS_SPAN("engine.analysis.merge", {{"events", table.size()}});
   MergedView m;
   const std::size_t n = table.size();
   m.t.reserve(n);
@@ -393,15 +416,29 @@ void run_sharded(const EventTable& signal, int num_threads, std::size_t row_size
     throw std::invalid_argument("analysis sweep: negative thread count");
   const auto shards = make_signal_shards(signal);
   if (shards.empty()) return;
+  // Span + histogram around one shard's sweep; pure wrapper, so the count
+  // arithmetic — and with it the determinism contract — is untouched.
+  const auto observed_sweep = [&](const SignalShard& s, std::uint64_t* row) {
+    QFC_OBS_SPAN("engine.analysis.shard",
+                 {{"channel", s.channel}, {"events", s.end - s.begin}});
+    if (obs::metrics_enabled()) {
+      const std::uint64_t t0 = obs::detail::now_ns();
+      sweep(s, row);
+      obs::histogram("engine.analysis.shard_ns").observe(obs::detail::now_ns() - t0);
+      obs::counter("engine.analysis.shards").increment();
+    } else {
+      sweep(s, row);
+    }
+  };
   const auto wp = analysis_pool_for(num_threads);
   if (wp->size() <= 1 || shards.size() <= 1) {
-    for (const SignalShard& s : shards) sweep(s, row_of(s.channel));
+    for (const SignalShard& s : shards) observed_sweep(s, row_of(s.channel));
     return;
   }
   std::vector<std::vector<std::uint64_t>> partials(shards.size());
   wp->run(shards.size(), [&](std::size_t i) {
     partials[i].assign(row_size, 0);
-    sweep(shards[i], partials[i].data());
+    observed_sweep(shards[i], partials[i].data());
   });
   for (std::size_t i = 0; i < shards.size(); ++i) {
     std::uint64_t* dst = row_of(shards[i].channel);
@@ -435,6 +472,7 @@ std::vector<CoincidenceHistogram> correlate_all(const EventTable& signal,
     throw std::invalid_argument("correlate_all: non-positive bin width or range");
   if (signal.num_channels() != idler.num_channels())
     throw std::invalid_argument("correlate_all: channel count mismatch");
+  QFC_OBS_SPAN("engine.correlate_all", {{"events", signal.size() + idler.size()}});
 
   const auto half_bins = static_cast<std::size_t>(std::ceil(range_s / bin_width_s));
   const std::size_t num_bins = 2 * half_bins + 1;
@@ -482,6 +520,7 @@ std::vector<std::uint64_t> coincidence_count_matrix(const EventTable& signal,
   const std::size_t ni = idler.num_channels();
   std::vector<std::uint64_t> counts(ns * ni, 0);
   if (ns == 0 || ni == 0) return counts;
+  QFC_OBS_SPAN("engine.count_matrix", {{"events", signal.size() + idler.size()}});
 
   const double half = window_s / 2.0;
   // Conservative scan reach (one extra window of slack): membership below
@@ -532,6 +571,7 @@ CarMatrix car_matrix(const EventTable& signal, const EventTable& idler,
   result.num_idler = idler.num_channels();
   result.cells.assign(result.num_signal * result.num_idler, CarResult{});
   if (result.cells.empty()) return result;
+  QFC_OBS_SPAN("engine.car_matrix", {{"events", signal.size() + idler.size()}});
 
   // Window grid: index 0 is the peak at Δt = 0; side window w = 1..K sits
   // at multiple m_w of the spacing, alternating +1, -1, +2, -2, ...

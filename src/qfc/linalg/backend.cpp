@@ -6,8 +6,19 @@
 #include <cstdlib>
 #include <string>
 
+#include "qfc/obs/obs.hpp"
+
 namespace qfc::linalg {
 namespace detail {
+
+// Nominal flop count of an m x k by k x n product: 2mkn real flops, with a
+// 4x factor for complex (each complex multiply-add is 4 real multiplies +
+// 4 real adds ~ 8 flops vs 2). Counted where a concrete kernel runs, so
+// blocked-backend fallbacks to the reference kernel bill as reference.
+std::uint64_t gemm_flops(std::size_t m, std::size_t k, std::size_t n, bool is_complex) {
+  const std::uint64_t base = 2ull * m * k * n;
+  return is_complex ? 4ull * base : base;
+}
 
 JacobiParams jacobi_params(double app, double aqq, cplx apq, double mag) {
   // Phase so that e^{-i phi} * apq is real positive, then the classic
@@ -61,8 +72,24 @@ void reference_gemm_impl(const Mat<T>& a, const Mat<T>& b, Mat<T>& c) {
   }
 }
 
-void reference_gemm(const RMat& a, const RMat& b, RMat& c) { reference_gemm_impl(a, b, c); }
-void reference_gemm(const CMat& a, const CMat& b, CMat& c) { reference_gemm_impl(a, b, c); }
+namespace {
+
+void count_reference_gemm(std::size_t m, std::size_t k, std::size_t n, bool is_complex) {
+  if (!obs::metrics_enabled()) return;
+  obs::counter("linalg.reference.gemm.calls").increment();
+  obs::counter("linalg.reference.gemm.flops").add(gemm_flops(m, k, n, is_complex));
+}
+
+}  // namespace
+
+void reference_gemm(const RMat& a, const RMat& b, RMat& c) {
+  count_reference_gemm(a.rows(), a.cols(), b.cols(), false);
+  reference_gemm_impl(a, b, c);
+}
+void reference_gemm(const CMat& a, const CMat& b, CMat& c) {
+  count_reference_gemm(a.rows(), a.cols(), b.cols(), true);
+  reference_gemm_impl(a, b, c);
+}
 
 CMat reference_scaled_congruence(const CMat& v, const RVec& d) {
   const std::size_t n = d.size();

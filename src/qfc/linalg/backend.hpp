@@ -26,6 +26,7 @@
 /// add a BackendKind enumerator, register the instance in backend(kind) and
 /// the name in to_string()/parse_backend(). See src/qfc/linalg/README.md.
 
+#include <cstdint>
 #include <optional>
 #include <string_view>
 
@@ -107,6 +108,10 @@ JacobiParams jacobi_params(double app, double aqq, cplx apq, double mag);
 
 /// Sum of squared magnitudes of strictly off-diagonal elements.
 double off_diag_norm2(const CMat& a);
+
+/// Nominal flop count of an m x k by k x n product (2mkn real; 4x for
+/// complex). Feeds the `linalg.<backend>.gemm.flops` obs counters.
+std::uint64_t gemm_flops(std::size_t m, std::size_t k, std::size_t n, bool is_complex);
 
 /// Convergence threshold on off_diag_norm2 for an n x n Hermitian matrix of
 /// Frobenius norm `scale`.

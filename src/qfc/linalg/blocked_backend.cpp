@@ -23,11 +23,18 @@
 
 #include "qfc/linalg/backend.hpp"
 #include "qfc/linalg/error.hpp"
+#include "qfc/obs/obs.hpp"
 #include "qfc/parallel/worker_pool.hpp"
 
 namespace qfc::linalg {
 
 namespace {
+
+void count_blocked_gemm(std::size_t m, std::size_t k, std::size_t n, bool is_complex) {
+  if (!obs::metrics_enabled()) return;
+  obs::counter("linalg.blocked.gemm.calls").increment();
+  obs::counter("linalg.blocked.gemm.flops").add(detail::gemm_flops(m, k, n, is_complex));
+}
 
 // ------------------------------------------------------------- worker pool
 
@@ -136,6 +143,8 @@ void gemm_kernel_rows(const CMat& a, const CMat& b, CMat& c,
 
 void blocked_gemm_threaded(const RMat& a, const RMat& b, RMat& c) {
   const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
+  count_blocked_gemm(m, kk, n, false);
+  QFC_OBS_SPAN("linalg.gemm", {{"m", m}, {"n", n}});
   // Pack B transposed once so the dot micro-kernel walks unit-stride.
   std::vector<double> bt(n * kk);
   for (std::size_t k = 0; k < kk; ++k) {
@@ -150,6 +159,8 @@ void blocked_gemm_threaded(const RMat& a, const RMat& b, RMat& c) {
 }
 
 void blocked_gemm_threaded(const CMat& a, const CMat& b, CMat& c) {
+  count_blocked_gemm(a.rows(), a.cols(), b.cols(), true);
+  QFC_OBS_SPAN("linalg.gemm", {{"m", a.rows()}, {"n", b.cols()}});
   const auto wp = pool();
   parallel::parallel_for_chunks(*wp, a.rows(), kGemmRowChunk,
                                 [&](std::size_t, std::size_t i0, std::size_t i1) {
@@ -241,6 +252,10 @@ EigResult blocked_hermitian_eig(const CMat& input, const EigOptions& opt) {
   const std::size_t n = input.rows();
   if (n < kEigBlockedMinDim) return reference_hermitian_eig(input, opt);
 
+  QFC_OBS_SPAN("linalg.eig.blocked", {{"n", n}});
+  const bool count_metrics = obs::metrics_enabled();
+  std::uint64_t sweeps_done = 0, rotations_done = 0;
+
   CMat a = hermitian_part(input);  // symmetrize away round-off
   CMat v = opt.want_vectors ? CMat::identity(n) : CMat();
   cplx* pa = a.data();
@@ -264,6 +279,7 @@ EigResult blocked_hermitian_eig(const CMat& input, const EigOptions& opt) {
       converged = true;
       break;
     }
+    ++sweeps_done;
     RoundRobin rr(m);
     for (std::size_t round = 0; round < rr.rounds(); ++round, rr.advance()) {
       // Parameters from the round-start snapshot. Each pair reads only its
@@ -281,6 +297,7 @@ EigResult blocked_hermitian_eig(const CMat& input, const EigOptions& opt) {
         if (mag < 1e-300) continue;
         r.jp = jacobi_params(std::real(a(p, p)), std::real(a(q, q)), apq, mag);
         r.active = true;
+        ++rotations_done;
       }
 
       // Phase 1 — left action J†A: rewrite rows p,q (contiguous memory,
@@ -332,6 +349,11 @@ EigResult blocked_hermitian_eig(const CMat& input, const EigOptions& opt) {
   if (!converged && off_diag_norm2(a) > stop)
     throw NumericalError("hermitian_eig(blocked): parallel Jacobi did not converge");
 
+  if (count_metrics) {
+    obs::counter("linalg.blocked.eig.calls").increment();
+    obs::counter("linalg.blocked.eig.sweeps").add(sweeps_done);
+    obs::counter("linalg.blocked.eig.rotations").add(rotations_done);
+  }
   return finalize_eig(a, v, opt.want_vectors);
 }
 
@@ -343,6 +365,11 @@ SvdResult blocked_svd(const CMat& a, int max_sweeps) {
     return SvdResult{std::move(t.v), std::move(t.sigma), std::move(t.u)};
   }
   if (n0 < kSvdBlockedMinDim) return reference_svd(a, max_sweeps);
+
+  QFC_OBS_SPAN("linalg.svd.blocked", {{"m", m0}, {"n", n0}});
+  const bool count_metrics = obs::metrics_enabled();
+  std::atomic<std::uint64_t> rotations_done{0};
+  std::uint64_t sweeps_done = 0;
 
   const std::size_t m = m0, n = n0;
   // Transposed working copies: row j of `wt` is column j of A and row j of
@@ -359,6 +386,7 @@ SvdResult blocked_svd(const CMat& a, int max_sweeps) {
 
   bool converged = false;
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    ++sweeps_done;
     any_rotation.store(false, std::memory_order_relaxed);
     RoundRobin rr(mp);
     for (std::size_t round = 0; round < rr.rounds(); ++round, rr.advance()) {
@@ -380,6 +408,7 @@ SvdResult blocked_svd(const CMat& a, int max_sweeps) {
         const double threshold = 1e-15 * std::sqrt(app * aqq);
         if (mag <= threshold || mag < 1e-300) return;
         any_rotation.store(true, std::memory_order_relaxed);
+        if (count_metrics) rotations_done.fetch_add(1, std::memory_order_relaxed);
 
         const JacobiParams jp = jacobi_params(app, aqq, apq, mag);
         const double c = jp.c;
@@ -404,6 +433,13 @@ SvdResult blocked_svd(const CMat& a, int max_sweeps) {
     }
   }
   if (!converged) throw NumericalError("svd(blocked): one-sided Jacobi did not converge");
+
+  if (count_metrics) {
+    obs::counter("linalg.blocked.svd.calls").increment();
+    obs::counter("linalg.blocked.svd.sweeps").add(sweeps_done);
+    obs::counter("linalg.blocked.svd.rotations")
+        .add(rotations_done.load(std::memory_order_relaxed));
+  }
 
   // Row norms of wt are the singular values; sort descending and transpose
   // the factors back into column-major-of-result form.

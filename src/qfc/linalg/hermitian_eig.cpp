@@ -6,6 +6,7 @@
 
 #include "qfc/linalg/backend.hpp"
 #include "qfc/linalg/error.hpp"
+#include "qfc/obs/obs.hpp"
 
 namespace qfc::linalg {
 namespace {
@@ -13,14 +14,17 @@ namespace {
 using detail::off_diag_norm2;
 
 /// One cyclic Jacobi sweep on Hermitian `a`, accumulating rotations into `v`
-/// when v != nullptr. Each rotation zeroes a(p,q) exactly.
-void jacobi_sweep(CMat& a, CMat* v) {
+/// when v != nullptr. Each rotation zeroes a(p,q) exactly. Returns the
+/// number of rotations applied (skipped negligible pivots excluded).
+std::uint64_t jacobi_sweep(CMat& a, CMat* v) {
+  std::uint64_t rotations = 0;
   const std::size_t n = a.rows();
   for (std::size_t p = 0; p + 1 < n; ++p) {
     for (std::size_t q = p + 1; q < n; ++q) {
       const cplx apq = a(p, q);
       const double mag = std::abs(apq);
       if (mag < 1e-300) continue;
+      ++rotations;
 
       const auto [c, sp] =
           detail::jacobi_params(std::real(a(p, p)), std::real(a(q, q)), apq, mag);
@@ -55,6 +59,7 @@ void jacobi_sweep(CMat& a, CMat* v) {
       }
     }
   }
+  return rotations;
 }
 
 }  // namespace
@@ -87,23 +92,31 @@ EigResult finalize_eig(const CMat& diagonalized, const CMat& vectors, bool want_
 
 EigResult reference_hermitian_eig(const CMat& input, const EigOptions& opt) {
   const std::size_t n = input.rows();
+  QFC_OBS_SPAN("linalg.eig.reference", {{"n", n}});
   CMat a = hermitian_part(input);  // symmetrize away round-off
   CMat v = opt.want_vectors ? CMat::identity(n) : CMat();
 
   const double stop =
       detail::jacobi_stop_threshold(std::max(a.frobenius_norm(), 1e-300), n);
 
+  std::uint64_t sweeps_done = 0, rotations_done = 0;
   bool converged = false;
   for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
     if (off_diag_norm2(a) <= stop) {
       converged = true;
       break;
     }
-    jacobi_sweep(a, opt.want_vectors ? &v : nullptr);
+    ++sweeps_done;
+    rotations_done += jacobi_sweep(a, opt.want_vectors ? &v : nullptr);
   }
   if (!converged && off_diag_norm2(a) > stop)
     throw NumericalError("hermitian_eig: Jacobi did not converge");
 
+  if (obs::metrics_enabled()) {
+    obs::counter("linalg.reference.eig.calls").increment();
+    obs::counter("linalg.reference.eig.sweeps").add(sweeps_done);
+    obs::counter("linalg.reference.eig.rotations").add(rotations_done);
+  }
   return finalize_eig(a, v, opt.want_vectors);
 }
 
@@ -115,6 +128,7 @@ EigResult hermitian_eig(const CMat& a, int max_sweeps, double hermiticity_tol) {
   a.require_square("hermitian_eig");
   if (!is_hermitian(a, hermiticity_tol))
     throw std::invalid_argument("hermitian_eig: input is not Hermitian");
+  QFC_OBS_SPAN("linalg.eig", {{"n", a.rows()}, {"backend", backend().name()}});
   EigOptions opt;
   opt.max_sweeps = max_sweeps;
   opt.want_vectors = true;
@@ -125,6 +139,7 @@ RVec hermitian_eigenvalues(const CMat& a, int max_sweeps) {
   a.require_square("hermitian_eig");
   if (!is_hermitian(a, 1e-9))
     throw std::invalid_argument("hermitian_eig: input is not Hermitian");
+  QFC_OBS_SPAN("linalg.eig", {{"n", a.rows()}, {"backend", backend().name()}});
   EigOptions opt;
   opt.max_sweeps = max_sweeps;
   opt.want_vectors = false;

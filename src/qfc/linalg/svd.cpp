@@ -6,6 +6,7 @@
 
 #include "qfc/linalg/backend.hpp"
 #include "qfc/linalg/error.hpp"
+#include "qfc/obs/obs.hpp"
 
 namespace qfc::linalg {
 namespace {
@@ -18,7 +19,14 @@ void orthogonalize_columns(CMat& w, CMat& v, int max_sweeps) {
   const std::size_t n = w.cols();
   const std::size_t m = w.rows();
 
+  std::uint64_t sweeps_done = 0, rotations_done = 0;
+  const auto flush_counts = [&] {
+    if (!obs::metrics_enabled()) return;
+    obs::counter("linalg.reference.svd.sweeps").add(sweeps_done);
+    obs::counter("linalg.reference.svd.rotations").add(rotations_done);
+  };
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    ++sweeps_done;
     bool rotated = false;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
@@ -34,6 +42,7 @@ void orthogonalize_columns(CMat& w, CMat& v, int max_sweeps) {
         const double threshold = 1e-15 * std::sqrt(app * aqq);
         if (mag <= threshold || mag < 1e-300) continue;
         rotated = true;
+        ++rotations_done;
 
         const auto [c, sp] = detail::jacobi_params(app, aqq, apq, mag);
 
@@ -51,7 +60,10 @@ void orthogonalize_columns(CMat& w, CMat& v, int max_sweeps) {
         }
       }
     }
-    if (!rotated) return;
+    if (!rotated) {
+      flush_counts();
+      return;
+    }
   }
   throw NumericalError("svd: one-sided Jacobi did not converge");
 }
@@ -71,6 +83,8 @@ SvdResult reference_svd(const CMat& a, int max_sweeps) {
     return SvdResult{std::move(t.v), std::move(t.sigma), std::move(t.u)};
   }
 
+  QFC_OBS_SPAN("linalg.svd.reference", {{"m", m}, {"n", n}});
+  if (obs::metrics_enabled()) obs::counter("linalg.reference.svd.calls").increment();
   CMat w = a;
   CMat v = CMat::identity(n);
   orthogonalize_columns(w, v, max_sweeps);
@@ -112,6 +126,7 @@ SvdResult reference_svd(const CMat& a, int max_sweeps) {
 
 SvdResult svd(const CMat& a, int max_sweeps) {
   if (a.empty()) throw std::invalid_argument("svd: empty matrix");
+  QFC_OBS_SPAN("linalg.svd", {{"n", a.cols()}, {"backend", backend().name()}});
   return backend().svd(a, max_sweeps);
 }
 

@@ -1,0 +1,462 @@
+#include "qfc/obs/obs.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace qfc::obs {
+
+namespace detail {
+
+std::atomic<std::uint32_t> g_mode{0};
+
+std::uint64_t now_ns() {
+  using clock = std::chrono::steady_clock;
+  // Epoch = first obs timestamp of the process (thread-safe magic static);
+  // all trace timestamps are relative to it.
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch)
+          .count());
+}
+
+}  // namespace detail
+
+namespace {
+
+// Per-thread buffers above this many events drop further spans (counted in
+// the export's otherData.dropped_events) instead of growing without bound.
+constexpr std::size_t kMaxEventsPerThread = 1u << 18;
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t t0 = 0;
+  std::uint64_t dur = 0;
+  std::array<SpanArg, SpanGuard::kMaxSpanArgs> args{};
+  std::uint8_t num_args = 0;
+};
+
+struct ThreadBuffer {
+  std::mutex mu;  // taken by the owning thread on push and by exporters
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+// Trace state is intentionally immortal (heap-allocated, never freed): the
+// atexit flush registered by the env-var initializer below must be able to
+// export after every other static has been destroyed.
+struct TraceState {
+  std::mutex mu;
+  std::vector<ThreadBuffer*> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+TraceState& trace_state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+ThreadBuffer& this_thread_buffer() {
+  thread_local ThreadBuffer* buf = nullptr;
+  if (buf == nullptr) {
+    auto* fresh = new ThreadBuffer();
+    TraceState& s = trace_state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    fresh->tid = s.next_tid++;
+    s.buffers.push_back(fresh);
+    buf = fresh;
+  }
+  return *buf;
+}
+
+// ------------------------------------------------------------ registry
+
+struct Registry {
+  std::mutex mu;
+  // node-based maps: element addresses are stable, so the references handed
+  // out by counter()/gauge()/histogram() survive any later registration.
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // immortal, see TraceState
+  return *r;
+}
+
+template <class Map>
+auto& get_or_create(Map& m, std::string_view name) {
+  auto it = m.find(name);
+  if (it == m.end()) it = m.try_emplace(std::string(name)).first;
+  return it->second;
+}
+
+// ---------------------------------------------------------- JSON helpers
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_args_object(std::string& out, const std::array<SpanArg, 2>& args,
+                        std::uint8_t num_args) {
+  out += "{";
+  for (std::uint8_t a = 0; a < num_args; ++a) {
+    if (a > 0) out += ", ";
+    append_escaped(out, args[a].key != nullptr ? args[a].key : "");
+    out += ": ";
+    if (args[a].kind == SpanArg::Kind::Str)
+      append_escaped(out, args[a].s != nullptr ? args[a].s : "");
+    else
+      out += std::to_string(args[a].i);
+  }
+  out += "}";
+}
+
+// ------------------------------------------------------ metrics snapshot
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, Histogram::kNumBuckets> buckets{};
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, long long> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+MetricsSnapshot snapshot_metrics() {
+  MetricsSnapshot snap;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& [name, c] : reg.counters) snap.counters[name] = c.value();
+  for (const auto& [name, g] : reg.gauges) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : reg.histograms) {
+    HistogramSnapshot& hs = snap.histograms[name];
+    hs.count = h.count();
+    hs.sum = h.sum();
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b)
+      hs.buckets[b] = h.bucket_count(b);
+  }
+  return snap;
+}
+
+/// Render a snapshot (minus an optional baseline) as one JSON object.
+/// Counter/histogram values are deltas when `base` is given; gauges are
+/// always instantaneous.
+std::string render_metrics(const MetricsSnapshot& cur, const MetricsSnapshot* base) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : cur.counters) {
+    std::uint64_t value = v;
+    if (base != nullptr) {
+      const auto it = base->counters.find(name);
+      value -= it != base->counters.end() ? it->second : 0;
+    }
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_escaped(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : cur.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_escaped(out, name);
+    out += ": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : cur.histograms) {
+    HistogramSnapshot d = h;
+    if (base != nullptr) {
+      const auto it = base->histograms.find(name);
+      if (it != base->histograms.end()) {
+        d.count -= it->second.count;
+        d.sum -= it->second.sum;
+        for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b)
+          d.buckets[b] -= it->second.buckets[b];
+      }
+    }
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_escaped(out, name);
+    out += ": {\"count\": " + std::to_string(d.count) +
+           ", \"sum\": " + std::to_string(d.sum) + ", \"buckets\": [";
+    bool bfirst = true;
+    for (std::size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (d.buckets[b] == 0) continue;  // nonzero buckets only (sparse export)
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      // Bucket b spans [2^(b-1), 2^b); "lt" is the exclusive upper bound
+      // (the last bucket is unbounded).
+      out += "{\"bucket\": " + std::to_string(b);
+      if (b + 1 < Histogram::kNumBuckets)
+        out += ", \"lt\": " + std::to_string(std::uint64_t{1} << b);
+      out += ", \"count\": " + std::to_string(d.buckets[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}" : "\n  }\n}";
+  return out;
+}
+
+bool write_string(const std::string& path, const std::string& body,
+                  const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "qfc-obs: cannot write %s to %s\n", what, path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+// ----------------------------------------------------------- env control
+
+std::string& env_trace_path() {
+  static std::string* p = new std::string();
+  return *p;
+}
+std::string& env_metrics_path() {
+  static std::string* p = new std::string();
+  return *p;
+}
+
+void flush_at_exit() {
+  if (!env_trace_path().empty() && write_trace(env_trace_path()))
+    std::fprintf(stderr, "qfc-obs: wrote trace to %s\n", env_trace_path().c_str());
+  if (!env_metrics_path().empty() && write_metrics(env_metrics_path()))
+    std::fprintf(stderr, "qfc-obs: wrote metrics to %s\n",
+                 env_metrics_path().c_str());
+}
+
+/// Runs during static initialization of any binary that links the qfc
+/// library (every instrumented module references obs symbols, so this TU is
+/// always pulled in): QFC_OBS_TRACE=<path> / QFC_OBS_METRICS=<path> enable
+/// the corresponding facility and register an exit-time export.
+struct EnvInit {
+  EnvInit() {
+    if (const char* p = std::getenv("QFC_OBS_TRACE"); p != nullptr && *p != '\0') {
+      env_trace_path() = p;
+      enable_tracing(true);
+    }
+    if (const char* p = std::getenv("QFC_OBS_METRICS"); p != nullptr && *p != '\0') {
+      env_metrics_path() = p;
+      enable_metrics(true);
+    }
+    if (!env_trace_path().empty() || !env_metrics_path().empty())
+      std::atexit(&flush_at_exit);
+  }
+};
+const EnvInit g_env_init{};
+
+}  // namespace
+
+// ------------------------------------------------------------- public API
+
+void enable() {
+  detail::g_mode.fetch_or(detail::kTraceBit | detail::kMetricsBit,
+                          std::memory_order_relaxed);
+}
+
+void enable_tracing(bool on) {
+  if (on)
+    detail::g_mode.fetch_or(detail::kTraceBit, std::memory_order_relaxed);
+  else
+    detail::g_mode.fetch_and(~detail::kTraceBit, std::memory_order_relaxed);
+}
+
+void enable_metrics(bool on) {
+  if (on)
+    detail::g_mode.fetch_or(detail::kMetricsBit, std::memory_order_relaxed);
+  else
+    detail::g_mode.fetch_and(~detail::kMetricsBit, std::memory_order_relaxed);
+}
+
+void disable() { detail::g_mode.store(0, std::memory_order_relaxed); }
+
+void reset() {
+  {
+    TraceState& s = trace_state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (ThreadBuffer* buf : s.buffers) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      buf->events.clear();
+      buf->dropped = 0;
+    }
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, c] : reg.counters) c.reset_value();
+  for (auto& [name, g] : reg.gauges) g.reset_value();
+  for (auto& [name, h] : reg.histograms) h.reset_value();
+}
+
+// ---------------------------------------------------------------- tracing
+
+void SpanGuard::open(const char* name, const SpanArg* args, std::size_t n) {
+  name_ = name;
+  num_args_ = static_cast<std::uint8_t>(std::min(n, kMaxSpanArgs));
+  for (std::uint8_t a = 0; a < num_args_; ++a) args_[a] = args[a];
+  t0_ = detail::now_ns();
+}
+
+void SpanGuard::close() {
+  if (!tracing_enabled()) return;  // disabled between open and close: drop
+  const std::uint64_t t1 = detail::now_ns();
+  ThreadBuffer& buf = this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  TraceEvent& ev = buf.events.emplace_back();
+  ev.name = name_;
+  ev.t0 = t0_;
+  ev.dur = t1 - t0_;
+  ev.args = args_;
+  ev.num_args = num_args_;
+}
+
+std::string trace_json() {
+  struct Flat {
+    TraceEvent ev;
+    std::uint32_t tid;
+  };
+  std::vector<Flat> flat;
+  std::uint64_t dropped = 0;
+  {
+    TraceState& s = trace_state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (ThreadBuffer* buf : s.buffers) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      dropped += buf->dropped;
+      for (const TraceEvent& ev : buf->events) flat.push_back({ev, buf->tid});
+    }
+  }
+  std::stable_sort(flat.begin(), flat.end(),
+                   [](const Flat& a, const Flat& b) { return a.ev.t0 < b.ev.t0; });
+
+  std::string out = "{\"traceEvents\": [";
+  char num[160];
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const TraceEvent& ev = flat[i].ev;
+    out += i == 0 ? "\n" : ",\n";
+    out += "{\"name\": ";
+    append_escaped(out, ev.name != nullptr ? ev.name : "");
+    // Chrome trace ts/dur are microseconds; keep ns resolution as decimals.
+    std::snprintf(num, sizeof(num),
+                  ", \"cat\": \"qfc\", \"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                  "\"ts\": %.3f, \"dur\": %.3f",
+                  flat[i].tid, static_cast<double>(ev.t0) / 1000.0,
+                  static_cast<double>(ev.dur) / 1000.0);
+    out += num;
+    if (ev.num_args > 0) {
+      out += ", \"args\": ";
+      append_args_object(out, ev.args, ev.num_args);
+    }
+    out += "}";
+  }
+  out += flat.empty() ? "]" : "\n]";
+  out += ", \"displayTimeUnit\": \"ns\", \"otherData\": {\"dropped_events\": " +
+         std::to_string(dropped) + "}}";
+  return out;
+}
+
+bool write_trace(const std::string& path) {
+  return write_string(path, trace_json(), "trace");
+}
+
+// ---------------------------------------------------------------- metrics
+
+Counter& counter(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return get_or_create(reg.counters, name);
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return get_or_create(reg.gauges, name);
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return get_or_create(reg.histograms, name);
+}
+
+std::string metrics_json() {
+  const MetricsSnapshot snap = snapshot_metrics();
+  return render_metrics(snap, nullptr);
+}
+
+bool write_metrics(const std::string& path) {
+  return write_string(path, metrics_json(), "metrics");
+}
+
+// -------------------------------------------------------------- RunReport
+
+struct RunReport::Impl {
+  MetricsSnapshot baseline;
+  std::uint64_t t0_ns = 0;
+};
+
+RunReport::RunReport() : impl_(std::make_unique<Impl>()) {
+  impl_->baseline = snapshot_metrics();
+  impl_->t0_ns = detail::now_ns();
+}
+
+RunReport::~RunReport() = default;
+
+std::string RunReport::json_object() const {
+  const double wall_ms =
+      static_cast<double>(detail::now_ns() - impl_->t0_ns) / 1e6;
+  const MetricsSnapshot cur = snapshot_metrics();
+  std::string body = render_metrics(cur, &impl_->baseline);
+  // Splice the report header into the rendered object: {"enabled": ...,
+  // "wall_ms": ..., "counters": {...}, ...}.
+  char head[96];
+  std::snprintf(head, sizeof(head), "{\n  \"enabled\": %s,\n  \"wall_ms\": %.3f,",
+                metrics_enabled() ? "true" : "false", wall_ms);
+  return std::string(head) + body.substr(1);
+}
+
+}  // namespace qfc::obs

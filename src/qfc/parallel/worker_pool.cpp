@@ -1,15 +1,39 @@
 #include "qfc/parallel/worker_pool.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
+#include <string>
+
+#include "qfc/obs/obs.hpp"
 
 namespace qfc::parallel {
+
+namespace {
+
+// Busy-ns counter for one pool thread; resolved once per thread (the
+// registry lookup allocates) and reused across every round it works.
+obs::Counter& busy_counter(unsigned worker_index) {
+  static constexpr unsigned kCached = 32;
+  static std::array<obs::Counter*, kCached> cache{};
+  static std::mutex mu;
+  if (worker_index < kCached) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (cache[worker_index] == nullptr)
+      cache[worker_index] = &obs::counter("parallel.worker_busy_ns." +
+                                          std::to_string(worker_index));
+    return *cache[worker_index];
+  }
+  return obs::counter("parallel.worker_busy_ns." + std::to_string(worker_index));
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(unsigned num_threads) {
   const unsigned spawned = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(spawned);
   for (unsigned t = 0; t < spawned; ++t)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, t] { worker_loop(t + 1); });
 }
 
 WorkerPool::~WorkerPool() {
@@ -32,7 +56,7 @@ void WorkerPool::claim_tasks() {
   }
 }
 
-void WorkerPool::worker_loop() {
+void WorkerPool::worker_loop(unsigned worker_index) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
@@ -41,7 +65,14 @@ void WorkerPool::worker_loop() {
       if (stop_) return;
       seen_generation = generation_;
     }
-    claim_tasks();
+    if (obs::enabled()) {
+      QFC_OBS_SPAN("pool.work", {{"worker", worker_index}});
+      const std::uint64_t t0 = obs::detail::now_ns();
+      claim_tasks();
+      busy_counter(worker_index).add(obs::detail::now_ns() - t0);
+    } else {
+      claim_tasks();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--busy_workers_ == 0) cv_done_.notify_one();
@@ -52,12 +83,28 @@ void WorkerPool::worker_loop() {
 void WorkerPool::run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn) {
   if (num_tasks == 0) return;
   if (workers_.empty() || num_tasks == 1) {
-    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    if (obs::enabled()) {
+      QFC_OBS_SPAN("pool.run", {{"tasks", num_tasks}, {"inline", 1}});
+      obs::counter("parallel.rounds").increment();
+      obs::counter("parallel.tasks").add(num_tasks);
+      const std::uint64_t t0 = obs::detail::now_ns();
+      for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+      busy_counter(0).add(obs::detail::now_ns() - t0);
+    } else {
+      for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    }
     return;
   }
 
   // One fork/join round at a time; concurrent callers queue here.
   std::lock_guard<std::mutex> run_lock(run_mutex_);
+  QFC_OBS_SPAN("pool.run", {{"tasks", num_tasks}});
+  const bool instrumented = obs::enabled();
+  if (instrumented) {
+    obs::counter("parallel.rounds").increment();
+    obs::counter("parallel.tasks").add(num_tasks);
+    obs::gauge("parallel.queue_depth").set(static_cast<long long>(num_tasks));
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     num_tasks_ = num_tasks;
@@ -70,13 +117,20 @@ void WorkerPool::run(std::size_t num_tasks, const std::function<void(std::size_t
   }
   cv_start_.notify_all();
 
-  claim_tasks();
+  if (instrumented) {
+    const std::uint64_t t0 = obs::detail::now_ns();
+    claim_tasks();
+    busy_counter(0).add(obs::detail::now_ns() - t0);
+  } else {
+    claim_tasks();
+  }
 
   {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [&] { return busy_workers_ == 0; });
     fn_ = nullptr;
   }
+  if (instrumented) obs::gauge("parallel.queue_depth").set(0);
   if (error_) std::rethrow_exception(error_);
 }
 
