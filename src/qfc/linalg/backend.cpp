@@ -20,6 +20,12 @@ std::uint64_t gemm_flops(std::size_t m, std::size_t k, std::size_t n, bool is_co
   return is_complex ? 4ull * base : base;
 }
 
+// One multiply per output element: 6 real flops for a complex multiply
+// (4 mul + 2 add), 1 for real.
+std::uint64_t kron_flops(std::size_t out_elems, bool is_complex) {
+  return (is_complex ? 6ull : 1ull) * out_elems;
+}
+
 JacobiParams jacobi_params(double app, double aqq, cplx apq, double mag) {
   // Phase so that e^{-i phi} * apq is real positive, then the classic
   // Jacobi angle: tan(2 theta) = 2|apq| / (app - aqq).
@@ -91,6 +97,45 @@ void reference_gemm(const CMat& a, const CMat& b, CMat& c) {
   reference_gemm_impl(a, b, c);
 }
 
+template <class T>
+void reference_kron_impl(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  // Same arithmetic as the inline template in matrix.hpp: one multiply per
+  // element, structural zeros of `a` skipped (their output block stays 0).
+  const std::size_t rb = b.rows(), cb = b.cols(), cols = out.cols();
+  const T* pb = b.data();
+  T* po = out.data();
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const T aij = a(i, j);
+      if (aij == T{}) continue;
+      for (std::size_t k = 0; k < rb; ++k) {
+        const T* brow = pb + k * cb;
+        T* orow = po + (i * rb + k) * cols + j * cb;
+        for (std::size_t l = 0; l < cb; ++l) orow[l] = aij * brow[l];
+      }
+    }
+}
+
+namespace {
+
+void count_kron(const char* backend_name, std::size_t out_elems, bool is_complex) {
+  if (!obs::metrics_enabled()) return;
+  obs::counter(std::string("linalg.") + backend_name + ".kron.calls").increment();
+  obs::counter(std::string("linalg.") + backend_name + ".kron.flops")
+      .add(kron_flops(out_elems, is_complex));
+}
+
+}  // namespace
+
+void reference_kron(const RMat& a, const RMat& b, RMat& out) {
+  count_kron("reference", out.size(), false);
+  reference_kron_impl(a, b, out);
+}
+void reference_kron(const CMat& a, const CMat& b, CMat& out) {
+  count_kron("reference", out.size(), true);
+  reference_kron_impl(a, b, out);
+}
+
 CMat reference_scaled_congruence(const CMat& v, const RVec& d) {
   const std::size_t n = d.size();
   CMat out(n, n);
@@ -104,8 +149,9 @@ CMat reference_scaled_congruence(const CMat& v, const RVec& d) {
   return out;
 }
 
-// gemm_dispatch (declared in matrix.hpp) is the seam Mat<T>::operator*
-// calls through; only the two scalar types used in the library exist.
+// gemm_dispatch / kron_dispatch (declared in matrix.hpp) are the seams
+// Mat<T>::operator* and kron() call through; only the two scalar types
+// used in the library exist.
 template <>
 void gemm_dispatch<double>(const RMat& a, const RMat& b, RMat& c) {
   backend().gemm(a, b, c);
@@ -114,8 +160,53 @@ template <>
 void gemm_dispatch<cplx>(const CMat& a, const CMat& b, CMat& c) {
   backend().gemm(a, b, c);
 }
+template <>
+void kron_dispatch<double>(const RMat& a, const RMat& b, RMat& out) {
+  backend().kron(a, b, out);
+}
+template <>
+void kron_dispatch<cplx>(const CMat& a, const CMat& b, CMat& out) {
+  backend().kron(a, b, out);
+}
 
 }  // namespace detail
+
+// ------------------------------------------------- Backend base defaults
+// Serial loops over the per-matrix virtuals: always correct, inherited by
+// the Reference backend. The Blocked backend overrides them with pool
+// fan-outs that are bitwise identical to these loops (fixed index-to-task
+// assignment, one result slot per index).
+
+void Backend::kron(const RMat& a, const RMat& b, RMat& out) const {
+  detail::reference_kron(a, b, out);
+}
+void Backend::kron(const CMat& a, const CMat& b, CMat& out) const {
+  detail::reference_kron(a, b, out);
+}
+
+std::vector<EigResult> Backend::hermitian_eig_batch(const std::vector<CMat>& as,
+                                                    const EigOptions& opt) const {
+  std::vector<EigResult> out(as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) out[i] = hermitian_eig(as[i], opt);
+  return out;
+}
+
+std::vector<SvdResult> Backend::svd_batch(const std::vector<CMat>& as,
+                                          int max_sweeps) const {
+  std::vector<SvdResult> out(as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) out[i] = svd(as[i], max_sweeps);
+  return out;
+}
+
+std::vector<CMat> Backend::gemm_batch(const std::vector<CMat>& as,
+                                      const std::vector<CMat>& bs) const {
+  std::vector<CMat> out(as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    out[i] = CMat(as[i].rows(), bs[i].cols());
+    gemm(as[i], bs[i], out[i]);
+  }
+  return out;
+}
 
 namespace {
 
@@ -164,13 +255,34 @@ class BlockedBackend final : public Backend {
   SvdResult svd(const CMat& a, int max_sweeps) const override {
     return detail::blocked_svd(a, max_sweeps);
   }
+  void kron(const RMat& a, const RMat& b, RMat& out) const override {
+    detail::blocked_kron(a, b, out);
+  }
+  void kron(const CMat& a, const CMat& b, CMat& out) const override {
+    detail::blocked_kron(a, b, out);
+  }
+  std::vector<EigResult> hermitian_eig_batch(const std::vector<CMat>& as,
+                                             const EigOptions& opt) const override {
+    return detail::blocked_hermitian_eig_batch(as, opt);
+  }
+  std::vector<SvdResult> svd_batch(const std::vector<CMat>& as,
+                                   int max_sweeps) const override {
+    return detail::blocked_svd_batch(as, max_sweeps);
+  }
+  std::vector<CMat> gemm_batch(const std::vector<CMat>& as,
+                               const std::vector<CMat>& bs) const override {
+    return detail::blocked_gemm_batch(as, bs);
+  }
 };
 
+// Blocked is the process default since its SIMD micro-kernels win at every
+// benched shape (see BENCH_linalg.json); QFC_LINALG_BACKEND=reference
+// restores the naive baseline for A/B runs.
 BackendKind initial_backend() {
   if (const char* env = std::getenv("QFC_LINALG_BACKEND")) {
     if (auto kind = detail::parse_backend(env)) return *kind;
   }
-  return BackendKind::Reference;
+  return BackendKind::Blocked;
 }
 
 std::atomic<BackendKind>& default_backend_slot() {
@@ -202,6 +314,65 @@ const Backend& backend() { return backend(default_backend()); }
 
 const char* to_string(BackendKind kind) {
   return kind == BackendKind::Blocked ? "blocked" : "reference";
+}
+
+// ------------------------------------------------- batch entry points
+// Validate once (same checks as the per-matrix entry points), then hand the
+// whole batch to the active backend.
+
+std::vector<EigResult> hermitian_eig_batch(const std::vector<CMat>& as,
+                                           const EigOptions& opt,
+                                           double hermiticity_tol) {
+  for (const CMat& a : as) {
+    a.require_square("hermitian_eig_batch");
+    if (!is_hermitian(a, hermiticity_tol))
+      throw std::invalid_argument("hermitian_eig_batch: input is not Hermitian");
+  }
+  QFC_OBS_SPAN("linalg.eig_batch",
+               {{"count", as.size()}, {"backend", backend().name()}});
+  if (obs::metrics_enabled()) {
+    obs::counter("linalg.eig_batch.calls").increment();
+    obs::counter("linalg.eig_batch.matrices").add(as.size());
+  }
+  return backend().hermitian_eig_batch(as, opt);
+}
+
+std::vector<RVec> hermitian_eigenvalues_batch(const std::vector<CMat>& as,
+                                              int max_sweeps) {
+  EigOptions opt;
+  opt.max_sweeps = max_sweeps;
+  opt.want_vectors = false;
+  auto full = hermitian_eig_batch(as, opt);
+  std::vector<RVec> out(full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) out[i] = std::move(full[i].values);
+  return out;
+}
+
+std::vector<SvdResult> svd_batch(const std::vector<CMat>& as, int max_sweeps) {
+  for (const CMat& a : as)
+    if (a.empty()) throw std::invalid_argument("svd_batch: empty matrix");
+  QFC_OBS_SPAN("linalg.svd_batch",
+               {{"count", as.size()}, {"backend", backend().name()}});
+  if (obs::metrics_enabled()) {
+    obs::counter("linalg.svd_batch.calls").increment();
+    obs::counter("linalg.svd_batch.matrices").add(as.size());
+  }
+  return backend().svd_batch(as, max_sweeps);
+}
+
+std::vector<CMat> gemm_batch(const std::vector<CMat>& as, const std::vector<CMat>& bs) {
+  if (as.size() != bs.size())
+    throw std::invalid_argument("gemm_batch: operand count mismatch");
+  for (std::size_t i = 0; i < as.size(); ++i)
+    if (as[i].cols() != bs[i].rows())
+      throw std::invalid_argument("gemm_batch: shape mismatch");
+  QFC_OBS_SPAN("linalg.gemm_batch",
+               {{"count", as.size()}, {"backend", backend().name()}});
+  if (obs::metrics_enabled()) {
+    obs::counter("linalg.gemm_batch.calls").increment();
+    obs::counter("linalg.gemm_batch.matrices").add(as.size());
+  }
+  return backend().gemm_batch(as, bs);
 }
 
 }  // namespace qfc::linalg

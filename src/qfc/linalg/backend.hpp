@@ -27,8 +27,10 @@
 /// the name in to_string()/parse_backend(). See src/qfc/linalg/README.md.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "qfc/linalg/hermitian_eig.hpp"
 #include "qfc/linalg/matrix.hpp"
@@ -64,10 +66,33 @@ class Backend {
 
   virtual EigResult hermitian_eig(const CMat& a, const EigOptions& opt) const = 0;
   virtual SvdResult svd(const CMat& a, int max_sweeps) const = 0;
+
+  /// Kronecker (tensor) product out = a ⊗ b; the caller provides `out`
+  /// sized (a.rows*b.rows) x (a.cols*b.cols). Every backend computes each
+  /// element with the single multiply a(i,j)*b(k,l), so kron results are
+  /// bitwise identical across backends and SIMD modes.
+  virtual void kron(const RMat& a, const RMat& b, RMat& out) const;
+  virtual void kron(const CMat& a, const CMat& b, CMat& out) const;
+
+  /// Batch-of-matrices kernels. Entry i of the result corresponds to input
+  /// i; dimensions may differ per entry (each matrix is an independent
+  /// problem). The base-class defaults are plain serial loops over the
+  /// per-matrix virtuals; the Blocked backend overrides them to fan out
+  /// *across* matrices on the shared worker pool with a fixed
+  /// matrix-to-task assignment (one task per index, results written to
+  /// per-index slots), so batch results are bitwise identical to the
+  /// per-matrix calls at any worker count.
+  virtual std::vector<EigResult> hermitian_eig_batch(const std::vector<CMat>& as,
+                                                     const EigOptions& opt) const;
+  virtual std::vector<SvdResult> svd_batch(const std::vector<CMat>& as,
+                                           int max_sweeps) const;
+  virtual std::vector<CMat> gemm_batch(const std::vector<CMat>& as,
+                                       const std::vector<CMat>& bs) const;
 };
 
 /// Active default backend (initialized from QFC_LINALG_BACKEND, else
-/// Reference). set_default_backend overrides for the rest of the process.
+/// Blocked — it wins on every benched kernel and dimension).
+/// set_default_backend overrides for the rest of the process.
 BackendKind default_backend();
 void set_default_backend(BackendKind kind);
 
@@ -89,6 +114,47 @@ unsigned backend_threads();
 /// at startup): 0 means auto. Lets callers save/restore the setting without
 /// collapsing "auto" to a concrete count.
 unsigned backend_thread_request();
+
+/// SIMD policy of the Blocked backend (see src/qfc/linalg/README.md).
+/// Vector micro-kernels (AVX2 on x86-64, runtime-dispatched) are used when
+/// the request is on AND the CPU supports them; the scalar fallback is
+/// always compiled in. Initial request comes from QFC_LINALG_SIMD
+/// ("off"/"0"/"false"/"scalar" disable; anything else, or unset, enables).
+/// Rotation/kron kernels replicate the scalar complex arithmetic exactly
+/// (mul/addsub, no FMA), so eig and kron are bitwise identical across SIMD
+/// modes; the planar-FMA GEMM and the vectorized SVD Gram reductions are
+/// relaxed (1e-10 parity across modes). Thread-count invariance is bitwise
+/// within any fixed mode.
+void set_simd_enabled(bool on);
+/// True when the vector path is active (requested AND CPU-supported).
+bool simd_enabled();
+/// The raw on/off request, ignoring CPU support (for save/restore).
+bool simd_request();
+
+/// RAII: forces the Blocked backend's kernels on this thread to run their
+/// parallel rounds inline instead of dispatching to the worker pool (the
+/// arithmetic is unchanged, so results are bitwise identical). Batch
+/// drivers that fan out across problems on the shared pool enter this
+/// scope inside each task — nested pool use would deadlock. Nestable.
+class SerialKernelScope {
+ public:
+  SerialKernelScope();
+  ~SerialKernelScope();
+  SerialKernelScope(const SerialKernelScope&) = delete;
+  SerialKernelScope& operator=(const SerialKernelScope&) = delete;
+};
+
+/// Validated batch entry points, routed through the active backend like
+/// hermitian_eig()/svd()/operator*. Entry i of the result corresponds to
+/// input i; dimensions may differ per entry. Results are bitwise identical
+/// to the equivalent serial loop of per-matrix calls.
+std::vector<EigResult> hermitian_eig_batch(const std::vector<CMat>& as,
+                                           const EigOptions& opt = {},
+                                           double hermiticity_tol = 1e-9);
+std::vector<RVec> hermitian_eigenvalues_batch(const std::vector<CMat>& as,
+                                              int max_sweeps = 64);
+std::vector<SvdResult> svd_batch(const std::vector<CMat>& as, int max_sweeps = 96);
+std::vector<CMat> gemm_batch(const std::vector<CMat>& as, const std::vector<CMat>& bs);
 
 namespace detail {
 
@@ -113,6 +179,19 @@ double off_diag_norm2(const CMat& a);
 /// complex). Feeds the `linalg.<backend>.gemm.flops` obs counters.
 std::uint64_t gemm_flops(std::size_t m, std::size_t k, std::size_t n, bool is_complex);
 
+/// Nominal flop count of a kron with `out_elems` output elements (one
+/// multiply per element; 6 real flops for complex). Feeds the
+/// `linalg.<backend>.kron.flops` obs counters.
+std::uint64_t kron_flops(std::size_t out_elems, bool is_complex);
+
+/// Run fn(i) for every i in [0, count) with one task per index on the
+/// Blocked backend's worker pool, each task inside a SerialKernelScope.
+/// The fixed index-to-task assignment plus disjoint per-index outputs make
+/// this bitwise deterministic at any worker count. Used by the Blocked
+/// batch kernels and by higher-level batch drivers (tomo, qudit, sfwm).
+/// Nested calls (from inside a task) degrade to a plain serial loop.
+void parallel_batch(std::size_t count, const std::function<void(std::size_t)>& fn);
+
 /// Convergence threshold on off_diag_norm2 for an n x n Hermitian matrix of
 /// Frobenius norm `scale`.
 double jacobi_stop_threshold(double scale, std::size_t n);
@@ -123,12 +202,21 @@ void reference_gemm(const RMat& a, const RMat& b, RMat& c);
 void reference_gemm(const CMat& a, const CMat& b, CMat& c);
 EigResult reference_hermitian_eig(const CMat& a, const EigOptions& opt);
 SvdResult reference_svd(const CMat& a, int max_sweeps);
+void reference_kron(const RMat& a, const RMat& b, RMat& out);
+void reference_kron(const CMat& a, const CMat& b, CMat& out);
 
 // Blocked kernels (blocked_backend.cpp).
 void blocked_gemm(const RMat& a, const RMat& b, RMat& c);
 void blocked_gemm(const CMat& a, const CMat& b, CMat& c);
 EigResult blocked_hermitian_eig(const CMat& a, const EigOptions& opt);
 SvdResult blocked_svd(const CMat& a, int max_sweeps);
+void blocked_kron(const RMat& a, const RMat& b, RMat& out);
+void blocked_kron(const CMat& a, const CMat& b, CMat& out);
+std::vector<EigResult> blocked_hermitian_eig_batch(const std::vector<CMat>& as,
+                                                   const EigOptions& opt);
+std::vector<SvdResult> blocked_svd_batch(const std::vector<CMat>& as, int max_sweeps);
+std::vector<CMat> blocked_gemm_batch(const std::vector<CMat>& as,
+                                     const std::vector<CMat>& bs);
 
 /// Shared eig finalization: read the (real) diagonal of the rotated matrix,
 /// sort descending, permute the accumulated eigenvector columns alongside.

@@ -1,22 +1,36 @@
-// Blocked backend kernels: cache-blocked GEMM with a transposed-B
-// micro-kernel, and round-robin ("chess tournament") parallel Jacobi
-// eigendecomposition / one-sided Jacobi SVD on the shared
-// qfc::parallel::WorkerPool (see src/qfc/parallel/README.md).
+// Blocked backend kernels: SIMD (AVX2, runtime-dispatched) complex
+// micro-kernels feeding a planar-packed GEMM, cyclic/round-robin parallel
+// Jacobi eigendecomposition, one-sided Jacobi SVD, a cache-blocked kron,
+// and batch-of-matrices drivers on the shared qfc::parallel::WorkerPool
+// (see src/qfc/parallel/README.md and src/qfc/linalg/README.md).
 //
 // Determinism: every rotation round partitions the matrix into disjoint
 // row/column pairs, each updated by exactly one task reading only data no
-// other task of the round writes, and each GEMM output element is summed in
-// a fixed block order inside a single task. Thread-count and scheduling
-// therefore cannot change any floating-point operation order — results are
-// bitwise identical from 1 thread to N.
+// other task of the round writes, and each GEMM/kron output element is
+// accumulated in a fixed order inside a single task. Thread count and
+// scheduling therefore cannot change any floating-point operation order —
+// results are bitwise identical from 1 thread to N. Batch kernels fan out
+// one task per matrix (disjoint result slots), so they inherit the same
+// guarantee.
+//
+// SIMD policy: the rotation-pair / column-rotation / kron row-scale kernels
+// replicate the scalar std::complex arithmetic operation-for-operation
+// (mul + permute + addsub, never FMA), so eig and kron results are bitwise
+// identical whether the vector path runs or not. The planar GEMM and the
+// SVD Gram-dot reductions use FMA and reordered accumulators and are only
+// guaranteed to 1e-10 across modes. The build adds -ffp-contract=off so the
+// scalar expressions can never be silently contracted into FMA either
+// (which would break the bitwise half of this contract on -march builds).
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -26,6 +40,11 @@
 #include "qfc/obs/obs.hpp"
 #include "qfc/parallel/worker_pool.hpp"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QFC_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
 namespace qfc::linalg {
 
 namespace {
@@ -34,6 +53,12 @@ void count_blocked_gemm(std::size_t m, std::size_t k, std::size_t n, bool is_com
   if (!obs::metrics_enabled()) return;
   obs::counter("linalg.blocked.gemm.calls").increment();
   obs::counter("linalg.blocked.gemm.flops").add(detail::gemm_flops(m, k, n, is_complex));
+}
+
+void count_blocked_kron(std::size_t out_elems, bool is_complex) {
+  if (!obs::metrics_enabled()) return;
+  obs::counter("linalg.blocked.kron.calls").increment();
+  obs::counter("linalg.blocked.kron.flops").add(detail::kron_flops(out_elems, is_complex));
 }
 
 // ------------------------------------------------------------- worker pool
@@ -70,24 +95,353 @@ std::shared_ptr<WorkerPool> pool() {
   return pool_instance;
 }
 
+// ----------------------------------------------------------- serial scope
+
+// Depth of SerialKernelScope nesting on this thread. Non-zero means "do not
+// touch the pool": we are inside a pool task (WorkerPool::run from a task
+// would deadlock), so kernels run their rounds inline. The arithmetic is
+// identical either way, so results are bitwise unaffected.
+thread_local int serial_scope_depth = 0;
+
+bool serial_mode() { return serial_scope_depth > 0; }
+
+/// True when a kernel entered from here may dispatch rounds to the pool:
+/// not inside a SerialKernelScope and more than one worker resolved. On a
+/// 1-core host this skips pool dispatch (and its task-queue overhead)
+/// entirely, which is most of the small-n crossover fix.
+bool use_pool() {
+  if (serial_mode()) return false;
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  return resolve_threads(thread_request()) > 1;
+}
+
+/// Run fn(task_index) for task_index in [0, count): on the pool when `wp`
+/// is non-null, inline (same index order) otherwise.
+template <class Fn>
+void run_tasks(const std::shared_ptr<WorkerPool>& wp, std::size_t count, Fn&& fn) {
+  if (wp) {
+    wp->run(count, fn);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
+/// parallel_for_chunks with the same fixed boundaries whether pooled or
+/// inline, so the chunk → data mapping never depends on the thread count.
+template <class Fn>
+void for_row_chunks(bool pooled, std::size_t n, std::size_t chunk, Fn&& fn) {
+  if (pooled) {
+    const auto wp = pool();
+    parallel::parallel_for_chunks(*wp, n, chunk, fn);
+  } else {
+    std::size_t c = 0;
+    for (std::size_t i0 = 0; i0 < n; i0 += chunk, ++c)
+      fn(c, i0, std::min(i0 + chunk, n));
+  }
+}
+
+// ------------------------------------------------------------ SIMD control
+
+bool initial_simd_request() {
+  if (const char* env = std::getenv("QFC_LINALG_SIMD")) {
+    std::string s(env);
+    for (char& ch : s) ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    if (s == "off" || s == "0" || s == "false" || s == "scalar") return false;
+  }
+  return true;  // unset or anything else: vector path allowed
+}
+
+std::atomic<bool>& simd_request_slot() {
+  static std::atomic<bool> v{initial_simd_request()};
+  return v;
+}
+
+bool cpu_supports_simd() {
+#if QFC_SIMD_X86
+  // FMA is required by the planar GEMM / Gram kernels; every AVX2 part
+  // ships it, but check anyway so the fallback is airtight.
+  static const bool ok = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool simd_active() {
+  return simd_request_slot().load(std::memory_order_relaxed) && cpu_supports_simd();
+}
+
+// ------------------------------------------------------- SIMD micro-kernels
+//
+// The complex-rotation kernels below are bitwise clones of the scalar
+// expressions they replace: a std::complex<double> product (a*b) lowers to
+// (ar*br - ai*bi, ar*bi + ai*br), which is exactly one permute + two muls +
+// one addsub per two elements. No FMA is used in these kernels, and the
+// translation unit is built with -ffp-contract=off, so the compiler cannot
+// re-fuse either side into something with different rounding.
+
+/// In-place rotation of two length-n complex ranges:
+///   a[k] <- c*x - sa*y,  b[k] <- sb*x + c*y   with x=a[k], y=b[k].
+/// Both Jacobi row updates (sa=sp, sb=conj(sp)) and the one-sided /
+/// eigenvector updates (sa=conj(sp), sb=sp) are this shape.
+void rotate_pair_scalar(cplx* a, cplx* b, std::size_t n, double c, cplx sa, cplx sb) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx x = a[k], y = b[k];
+    a[k] = c * x - sa * y;
+    b[k] = sb * x + c * y;
+  }
+}
+
+#if QFC_SIMD_X86
+__attribute__((target("avx2"))) void rotate_pair_avx2(cplx* a, cplx* b, std::size_t n,
+                                                      double c, cplx sa, cplx sb) {
+  double* pa = reinterpret_cast<double*>(a);
+  double* pb = reinterpret_cast<double*>(b);
+  const __m256d cv = _mm256_set1_pd(c);
+  const __m256d sar = _mm256_set1_pd(sa.real());
+  const __m256d sai = _mm256_set1_pd(sa.imag());
+  const __m256d sbr = _mm256_set1_pd(sb.real());
+  const __m256d sbi = _mm256_set1_pd(sb.imag());
+  const std::size_t nd = 2 * n;
+  std::size_t k = 0;
+  for (; k + 4 <= nd; k += 4) {
+    const __m256d x = _mm256_loadu_pd(pa + k);
+    const __m256d y = _mm256_loadu_pd(pb + k);
+    const __m256d xsw = _mm256_permute_pd(x, 0x5);  // swap re/im per element
+    const __m256d ysw = _mm256_permute_pd(y, 0x5);
+    const __m256d say = _mm256_addsub_pd(_mm256_mul_pd(y, sar), _mm256_mul_pd(ysw, sai));
+    const __m256d sbx = _mm256_addsub_pd(_mm256_mul_pd(x, sbr), _mm256_mul_pd(xsw, sbi));
+    _mm256_storeu_pd(pa + k, _mm256_sub_pd(_mm256_mul_pd(x, cv), say));
+    _mm256_storeu_pd(pb + k, _mm256_add_pd(sbx, _mm256_mul_pd(y, cv)));
+  }
+  for (std::size_t e = k / 2; e < n; ++e) {
+    const cplx x = a[e], y = b[e];
+    a[e] = c * x - sa * y;
+    b[e] = sb * x + c * y;
+  }
+}
+#endif
+
+void rotate_pair(cplx* a, cplx* b, std::size_t n, double c, cplx sa, cplx sb) {
+#if QFC_SIMD_X86
+  if (simd_active()) {
+    rotate_pair_avx2(a, b, n, c, sa, sb);
+    return;
+  }
+#endif
+  rotate_pair_scalar(a, b, n, c, sa, sb);
+}
+
+/// One column-pair Jacobi rotation as seen by a row sweep:
+///   row[p] <- c*x - conj(sp)*y,  row[q] <- sp*x + c*y.
+struct ColRot {
+  std::size_t p = 0, q = 0;
+  double c = 1.0;
+  cplx sp{0, 0};
+};
+
+void apply_col_rotations_scalar(cplx* base, std::size_t stride, std::size_t r0,
+                                std::size_t r1, const ColRot* rots, std::size_t nrots) {
+  for (std::size_t i = 0; i < nrots; ++i) {
+    const ColRot& r = rots[i];
+    const double c = r.c;
+    const cplx sp = r.sp, spc = std::conj(r.sp);
+    cplx* row = base + r0 * stride;
+    for (std::size_t k = r0; k < r1; ++k, row += stride) {
+      const cplx x = row[r.p], y = row[r.q];
+      row[r.p] = c * x - spc * y;
+      row[r.q] = sp * x + c * y;
+    }
+  }
+}
+
+#if QFC_SIMD_X86
+// Two rows per iteration: element (k,p) of each row pair packs into one ymm
+// register, and the per-128-bit-lane complex multiply is the same bitwise
+// mul/permute/addsub shape as rotate_pair_avx2.
+__attribute__((target("avx2"))) void apply_col_rotations_avx2(cplx* base, std::size_t stride,
+                                                              std::size_t r0, std::size_t r1,
+                                                              const ColRot* rots,
+                                                              std::size_t nrots) {
+  for (std::size_t i = 0; i < nrots; ++i) {
+    const ColRot& r = rots[i];
+    const __m256d cv = _mm256_set1_pd(r.c);
+    const __m256d spr = _mm256_set1_pd(r.sp.real());
+    const __m256d spi = _mm256_set1_pd(r.sp.imag());
+    const __m256d spi_neg = _mm256_set1_pd(-r.sp.imag());  // conj(sp).imag
+    std::size_t k = r0;
+    for (; k + 2 <= r1; k += 2) {
+      double* row0 = reinterpret_cast<double*>(base + k * stride);
+      double* row1 = reinterpret_cast<double*>(base + (k + 1) * stride);
+      const __m128d x0 = _mm_loadu_pd(row0 + 2 * r.p);
+      const __m128d x1 = _mm_loadu_pd(row1 + 2 * r.p);
+      const __m128d y0 = _mm_loadu_pd(row0 + 2 * r.q);
+      const __m128d y1 = _mm_loadu_pd(row1 + 2 * r.q);
+      const __m256d x = _mm256_insertf128_pd(_mm256_castpd128_pd256(x0), x1, 1);
+      const __m256d y = _mm256_insertf128_pd(_mm256_castpd128_pd256(y0), y1, 1);
+      const __m256d xsw = _mm256_permute_pd(x, 0x5);
+      const __m256d ysw = _mm256_permute_pd(y, 0x5);
+      const __m256d cjy =
+          _mm256_addsub_pd(_mm256_mul_pd(y, spr), _mm256_mul_pd(ysw, spi_neg));
+      const __m256d spx = _mm256_addsub_pd(_mm256_mul_pd(x, spr), _mm256_mul_pd(xsw, spi));
+      const __m256d xp = _mm256_sub_pd(_mm256_mul_pd(x, cv), cjy);
+      const __m256d yp = _mm256_add_pd(spx, _mm256_mul_pd(y, cv));
+      _mm_storeu_pd(row0 + 2 * r.p, _mm256_castpd256_pd128(xp));
+      _mm_storeu_pd(row1 + 2 * r.p, _mm256_extractf128_pd(xp, 1));
+      _mm_storeu_pd(row0 + 2 * r.q, _mm256_castpd256_pd128(yp));
+      _mm_storeu_pd(row1 + 2 * r.q, _mm256_extractf128_pd(yp, 1));
+    }
+    if (k < r1) apply_col_rotations_scalar(base, stride, k, r1, &r, 1);
+  }
+}
+#endif
+
+void apply_col_rotations(cplx* base, std::size_t stride, std::size_t r0, std::size_t r1,
+                         const ColRot* rots, std::size_t nrots) {
+#if QFC_SIMD_X86
+  if (simd_active()) {
+    apply_col_rotations_avx2(base, stride, r0, r1, rots, nrots);
+    return;
+  }
+#endif
+  apply_col_rotations_scalar(base, stride, r0, r1, rots, nrots);
+}
+
+/// Gram entries of two length-m complex columns (stored as rows here):
+/// app = ||x||², aqq = ||y||², apq = <x|y>. The scalar form is the exact
+/// reference summation order; the AVX2 form uses 4-lane FMA accumulators
+/// (relaxed: 1e-10-level differences across SIMD modes — documented policy).
+struct GramDot {
+  double app = 0, aqq = 0;
+  cplx apq{0, 0};
+};
+
+GramDot gram_dot_scalar(const cplx* x, const cplx* y, std::size_t m) {
+  GramDot g;
+  for (std::size_t k = 0; k < m; ++k) {
+    g.app += std::norm(x[k]);
+    g.aqq += std::norm(y[k]);
+    g.apq += std::conj(x[k]) * y[k];
+  }
+  return g;
+}
+
+#if QFC_SIMD_X86
+__attribute__((target("avx2"))) double hsum_avx2(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+__attribute__((target("avx2,fma"))) GramDot gram_dot_avx2(const cplx* xc, const cplx* yc,
+                                                          std::size_t m) {
+  const double* x = reinterpret_cast<const double*>(xc);
+  const double* y = reinterpret_cast<const double*>(yc);
+  __m256d app = _mm256_setzero_pd();
+  __m256d aqq = _mm256_setzero_pd();
+  __m256d cre = _mm256_setzero_pd();
+  __m256d cim = _mm256_setzero_pd();  // lanes hold [xi*yr, xr*yi] pairs
+  const std::size_t md = 2 * m;
+  std::size_t k = 0;
+  for (; k + 4 <= md; k += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + k);
+    const __m256d yv = _mm256_loadu_pd(y + k);
+    app = _mm256_fmadd_pd(xv, xv, app);
+    aqq = _mm256_fmadd_pd(yv, yv, aqq);
+    cre = _mm256_fmadd_pd(xv, yv, cre);
+    cim = _mm256_fmadd_pd(_mm256_permute_pd(xv, 0x5), yv, cim);
+  }
+  // Im <x|y> = sum(xr*yi - xi*yr): negate the xi*yr lanes before reducing.
+  const __m256d sign = _mm256_set_pd(1.0, -1.0, 1.0, -1.0);
+  GramDot g;
+  g.app = hsum_avx2(app);
+  g.aqq = hsum_avx2(aqq);
+  double re = hsum_avx2(cre);
+  double im = hsum_avx2(_mm256_mul_pd(cim, sign));
+  for (std::size_t e = k / 2; e < m; ++e) {
+    g.app += std::norm(xc[e]);
+    g.aqq += std::norm(yc[e]);
+    const cplx t = std::conj(xc[e]) * yc[e];
+    re += t.real();
+    im += t.imag();
+  }
+  g.apq = cplx(re, im);
+  return g;
+}
+#endif
+
+GramDot gram_dot(const cplx* x, const cplx* y, std::size_t m) {
+#if QFC_SIMD_X86
+  if (simd_active()) return gram_dot_avx2(x, y, m);
+#endif
+  return gram_dot_scalar(x, y, m);
+}
+
+/// dst[j] = s * src[j] — the kron inner loop. The complex AVX2 form is the
+/// same bitwise mul/permute/addsub complex product as the rotation kernels.
+void scale_row_scalar(cplx* dst, const cplx* src, std::size_t n, cplx s) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] = s * src[j];
+}
+
+#if QFC_SIMD_X86
+__attribute__((target("avx2"))) void scale_row_avx2(cplx* dstc, const cplx* srcc,
+                                                    std::size_t n, cplx s) {
+  double* dst = reinterpret_cast<double*>(dstc);
+  const double* src = reinterpret_cast<const double*>(srcc);
+  const __m256d sr = _mm256_set1_pd(s.real());
+  const __m256d si = _mm256_set1_pd(s.imag());
+  const std::size_t nd = 2 * n;
+  std::size_t k = 0;
+  for (; k + 4 <= nd; k += 4) {
+    const __m256d b = _mm256_loadu_pd(src + k);
+    const __m256d bsw = _mm256_permute_pd(b, 0x5);
+    _mm256_storeu_pd(dst + k, _mm256_addsub_pd(_mm256_mul_pd(b, sr), _mm256_mul_pd(bsw, si)));
+  }
+  for (std::size_t e = k / 2; e < n; ++e) dstc[e] = s * srcc[e];
+}
+#endif
+
+void scale_row(cplx* dst, const cplx* src, std::size_t n, cplx s) {
+#if QFC_SIMD_X86
+  if (simd_active()) {
+    scale_row_avx2(dst, src, n, s);
+    return;
+  }
+#endif
+  scale_row_scalar(dst, src, n, s);
+}
+
+void scale_row(double* dst, const double* src, std::size_t n, double s) {
+  for (std::size_t j = 0; j < n; ++j) dst[j] = s * src[j];
+}
+
 // ------------------------------------------------------------ blocked GEMM
 //
-// Two micro-kernels, picked per scalar type (measured under the build's
-// plain -O3 on both shapes):
+// Three paths, picked per scalar type and SIMD mode:
 //  - double: pack B transposed once, then each C entry is a unit-stride dot
 //    product with four independent accumulator chains (vectorizes cleanly
 //    and hides FP add latency).
-//  - complex<double>: an axpy panel kernel (crow += aik * brow) with k/j
-//    cache blocking — complex dots de-vectorize under generic -O3, so the
-//    contiguous axpy form is the faster single-thread baseline.
-// Both parallelize over disjoint C row chunks, which is where the multi-core
-// speedup comes from; each C entry is accumulated in a fixed k order inside
-// one task, so results are bitwise thread-count invariant.
+//  - complex<double>, SIMD active: split B into planar re/im arrays so the
+//    inner loop is four real FMA streams over contiguous memory — the form
+//    AVX FMA units actually like (a complex "interleaved" inner loop
+//    de-vectorizes). Per-row planar accumulators, interleave-store per row.
+//  - complex<double>, scalar: an axpy panel kernel (crow += aik * brow) with
+//    k/j cache blocking — complex dots de-vectorize under generic -O3, so
+//    the contiguous axpy form is the faster scalar baseline.
+// All parallelize over disjoint C row chunks; each C entry accumulates in a
+// fixed k order inside one task, so results are bitwise thread-invariant.
 
-// Below this flop count the dispatch/packing overhead dominates and the
-// reference ikj loop (with its structural-sparsity skip) wins; the quantum
-// layer's many tiny gate products stay on that path.
+// Below this flop count the dispatch/packing overhead dominates the scalar
+// paths and the reference ikj loop (with its structural-sparsity skip) wins;
+// the quantum layer's many tiny gate products stay on that path. The planar
+// SIMD path has no such crossover — it wins at every benched size.
 constexpr std::size_t kGemmFlopCutoff = std::size_t{48} * 48 * 48;
+
+// With SIMD active, complex products at or below this m*k*n use the
+// vectorized axpy kernel (no packing, bitwise equal to reference); above
+// it the planar-FMA kernel's packing pays for itself.
+constexpr std::size_t kGemmAxpySimdCutoff = std::size_t{16} * 16 * 16;
 
 constexpr std::size_t kGemmRowChunk = 16;     // C rows per pool task
 constexpr std::size_t kGemmColBlock = 512;    // C cols per cache block
@@ -141,6 +495,104 @@ void gemm_kernel_rows(const CMat& a, const CMat& b, CMat& c,
   }
 }
 
+#if QFC_SIMD_X86
+// Small-matrix complex GEMM: the reference ikj axpy loop with the inner j
+// loop vectorized (same mul/permute/addsub product as the rotation kernels,
+// same k accumulation order), so it is bitwise identical to reference_gemm
+// while skipping the planar path's packing overhead.
+__attribute__((target("avx2"))) void gemm_axpy_rows_avx2(const CMat& a, const CMat& b,
+                                                         CMat& c) {
+  const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
+  const cplx* pa = a.data();
+  const cplx* pb = b.data();
+  cplx* pc = c.data();
+  const std::size_t nd = 2 * n;
+  for (std::size_t i = 0; i < m; ++i) {
+    const cplx* arow = pa + i * kk;
+    double* crow = reinterpret_cast<double*>(pc + i * n);
+    for (std::size_t k = 0; k < kk; ++k) {
+      const cplx aik = arow[k];
+      if (aik == cplx{}) continue;
+      const double* brow = reinterpret_cast<const double*>(pb + k * n);
+      const __m256d ar = _mm256_set1_pd(aik.real());
+      const __m256d ai = _mm256_set1_pd(aik.imag());
+      std::size_t j = 0;
+      for (; j + 4 <= nd; j += 4) {
+        const __m256d bv = _mm256_loadu_pd(brow + j);
+        const __m256d bsw = _mm256_permute_pd(bv, 0x5);
+        const __m256d prod =
+            _mm256_addsub_pd(_mm256_mul_pd(bv, ar), _mm256_mul_pd(bsw, ai));
+        _mm256_storeu_pd(crow + j, _mm256_add_pd(_mm256_loadu_pd(crow + j), prod));
+      }
+      for (std::size_t e = j / 2; e < n; ++e) pc[i * n + e] += aik * pb[k * n + e];
+    }
+  }
+}
+
+__attribute__((target("avx2,fma"))) void gemm_planar_rows_avx2(
+    const cplx* pa, std::size_t kk, std::size_t n, const double* bre, const double* bim,
+    cplx* pc, std::size_t i0, std::size_t i1, double* cre, double* cim) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const cplx* arow = pa + i * kk;
+    for (std::size_t j = 0; j < n; ++j) {
+      cre[j] = 0;
+      cim[j] = 0;
+    }
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double ar = arow[k].real(), ai = arow[k].imag();
+      if (ar == 0.0 && ai == 0.0) continue;  // structural-sparsity skip
+      const __m256d arv = _mm256_set1_pd(ar);
+      const __m256d aiv = _mm256_set1_pd(ai);
+      const double* br = bre + k * n;
+      const double* bi = bim + k * n;
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        __m256d cr = _mm256_loadu_pd(cre + j);
+        __m256d ci = _mm256_loadu_pd(cim + j);
+        const __m256d brv = _mm256_loadu_pd(br + j);
+        const __m256d biv = _mm256_loadu_pd(bi + j);
+        cr = _mm256_fmadd_pd(arv, brv, cr);
+        cr = _mm256_fnmadd_pd(aiv, biv, cr);
+        ci = _mm256_fmadd_pd(arv, biv, ci);
+        ci = _mm256_fmadd_pd(aiv, brv, ci);
+        _mm256_storeu_pd(cre + j, cr);
+        _mm256_storeu_pd(cim + j, ci);
+      }
+      for (; j < n; ++j) {
+        cre[j] += ar * br[j] - ai * bi[j];
+        cim[j] += ar * bi[j] + ai * br[j];
+      }
+    }
+    cplx* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = cplx(cre[j], cim[j]);
+  }
+}
+
+void blocked_gemm_planar(const CMat& a, const CMat& b, CMat& c) {
+  const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
+  count_blocked_gemm(m, kk, n, true);
+  QFC_OBS_SPAN("linalg.gemm", {{"m", m}, {"n", n}});
+  std::vector<double> bre(kk * n), bim(kk * n);
+  const cplx* pb = b.data();
+  for (std::size_t k = 0; k < kk; ++k) {
+    const cplx* brow = pb + k * n;
+    double* r = bre.data() + k * n;
+    double* s = bim.data() + k * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      r[j] = brow[j].real();
+      s[j] = brow[j].imag();
+    }
+  }
+  const bool pooled = m * kk * n > kGemmFlopCutoff && m >= 2 * kGemmRowChunk && use_pool();
+  for_row_chunks(pooled, m, kGemmRowChunk,
+                 [&](std::size_t, std::size_t i0, std::size_t i1) {
+                   std::vector<double> cre(n), cim(n);  // per-task accumulators
+                   gemm_planar_rows_avx2(a.data(), kk, n, bre.data(), bim.data(),
+                                         c.data(), i0, i1, cre.data(), cim.data());
+                 });
+}
+#endif
+
 void blocked_gemm_threaded(const RMat& a, const RMat& b, RMat& c) {
   const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
   count_blocked_gemm(m, kk, n, false);
@@ -151,30 +603,19 @@ void blocked_gemm_threaded(const RMat& a, const RMat& b, RMat& c) {
     const double* brow = b.data() + k * n;
     for (std::size_t j = 0; j < n; ++j) bt[j * kk + k] = brow[j];
   }
-  const auto wp = pool();
-  parallel::parallel_for_chunks(*wp, m, kGemmRowChunk,
-                                [&](std::size_t, std::size_t i0, std::size_t i1) {
-                                  gemm_kernel_rows(a, bt, c, i0, i1);
-                                });
+  for_row_chunks(use_pool(), m, kGemmRowChunk,
+                 [&](std::size_t, std::size_t i0, std::size_t i1) {
+                   gemm_kernel_rows(a, bt, c, i0, i1);
+                 });
 }
 
 void blocked_gemm_threaded(const CMat& a, const CMat& b, CMat& c) {
   count_blocked_gemm(a.rows(), a.cols(), b.cols(), true);
   QFC_OBS_SPAN("linalg.gemm", {{"m", a.rows()}, {"n", b.cols()}});
-  const auto wp = pool();
-  parallel::parallel_for_chunks(*wp, a.rows(), kGemmRowChunk,
-                                [&](std::size_t, std::size_t i0, std::size_t i1) {
-                                  gemm_kernel_rows(a, b, c, i0, i1);
-                                });
-}
-
-template <class T>
-void blocked_gemm_impl(const Mat<T>& a, const Mat<T>& b, Mat<T>& c) {
-  if (a.rows() * a.cols() * b.cols() <= kGemmFlopCutoff) {
-    detail::reference_gemm(a, b, c);
-    return;
-  }
-  blocked_gemm_threaded(a, b, c);
+  for_row_chunks(use_pool(), a.rows(), kGemmRowChunk,
+                 [&](std::size_t, std::size_t i0, std::size_t i1) {
+                   gemm_kernel_rows(a, b, c, i0, i1);
+                 });
 }
 
 // ------------------------------------------- round-robin rotation schedule
@@ -218,10 +659,72 @@ using detail::jacobi_params;
 using detail::JacobiParams;
 using detail::off_diag_norm2;
 
-// Below these dimensions a whole parallel sweep costs more in barriers than
-// the reference cyclic sweep costs in flops.
-constexpr std::size_t kEigBlockedMinDim = 40;
-constexpr std::size_t kSvdBlockedMinDim = 40;
+// Below these dimensions the round-robin machinery (parameter snapshots,
+// two-phase rounds) costs more than it saves even with the pool disabled;
+// the cyclic path — the exact reference rotation order driven through the
+// SIMD kernels, bitwise identical to Reference — is faster there.
+constexpr std::size_t kEigCyclicMaxDim = 40;
+constexpr std::size_t kSvdCyclicMaxDim = 40;
+
+constexpr std::size_t kEigRowChunk = 16;  // A rows per phase-2 pool task
+constexpr std::size_t kKronRowChunk = 1;  // A rows per kron pool task
+
+// ------------------------------------------------------------- cyclic eig
+
+/// Reference cyclic Jacobi, rotation-for-rotation, but with the column/row
+/// updates running through the (bitwise-identical) SIMD kernels. Used below
+/// kEigCyclicMaxDim, where it beats both the reference loop (vector width)
+/// and the round-robin path (no per-round bookkeeping).
+EigResult cyclic_hermitian_eig(const CMat& input, const EigOptions& opt) {
+  const std::size_t n = input.rows();
+  QFC_OBS_SPAN("linalg.eig.blocked", {{"n", n}});
+  CMat a = hermitian_part(input);  // symmetrize away round-off
+  CMat v = opt.want_vectors ? CMat::identity(n) : CMat();
+  cplx* pa = a.data();
+  cplx* pv = opt.want_vectors ? v.data() : nullptr;
+
+  const double stop =
+      detail::jacobi_stop_threshold(std::max(a.frobenius_norm(), 1e-300), n);
+
+  std::uint64_t sweeps_done = 0, rotations_done = 0;
+  bool converged = false;
+  for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    if (off_diag_norm2(a) <= stop) {
+      converged = true;
+      break;
+    }
+    ++sweeps_done;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cplx apq = a(p, q);
+        const double mag = std::abs(apq);
+        if (mag < 1e-300) continue;
+        ++rotations_done;
+        const JacobiParams jp =
+            jacobi_params(std::real(a(p, p)), std::real(a(q, q)), apq, mag);
+        const ColRot rot{p, q, jp.c, jp.sp};
+        // Same update sequence as the reference sweep: columns p,q over all
+        // rows, then rows p,q, then the pivot/diagonal cleanup, then V.
+        apply_col_rotations(pa, n, 0, n, &rot, 1);
+        rotate_pair(pa + p * n, pa + q * n, n, jp.c, jp.sp, std::conj(jp.sp));
+        a(p, q) = cplx(0, 0);
+        a(q, p) = cplx(0, 0);
+        a(p, p) = cplx(std::real(a(p, p)), 0);
+        a(q, q) = cplx(std::real(a(q, q)), 0);
+        if (pv != nullptr) apply_col_rotations(pv, n, 0, n, &rot, 1);
+      }
+    }
+  }
+  if (!converged && off_diag_norm2(a) > stop)
+    throw NumericalError("hermitian_eig(blocked): Jacobi did not converge");
+
+  if (obs::metrics_enabled()) {
+    obs::counter("linalg.blocked.eig.calls").increment();
+    obs::counter("linalg.blocked.eig.sweeps").add(sweeps_done);
+    obs::counter("linalg.blocked.eig.rotations").add(rotations_done);
+  }
+  return detail::finalize_eig(a, v, opt.want_vectors);
+}
 
 }  // namespace
 
@@ -243,23 +746,61 @@ unsigned backend_thread_request() {
   return thread_request();
 }
 
+void set_simd_enabled(bool on) {
+  simd_request_slot().store(on, std::memory_order_relaxed);
+}
+
+bool simd_enabled() { return simd_active(); }
+
+bool simd_request() { return simd_request_slot().load(std::memory_order_relaxed); }
+
+SerialKernelScope::SerialKernelScope() { ++serial_scope_depth; }
+SerialKernelScope::~SerialKernelScope() { --serial_scope_depth; }
+
 namespace detail {
 
-void blocked_gemm(const RMat& a, const RMat& b, RMat& c) { blocked_gemm_impl(a, b, c); }
-void blocked_gemm(const CMat& a, const CMat& b, CMat& c) { blocked_gemm_impl(a, b, c); }
+void blocked_gemm(const RMat& a, const RMat& b, RMat& c) {
+  if (a.rows() * a.cols() * b.cols() <= kGemmFlopCutoff) {
+    reference_gemm(a, b, c);
+    return;
+  }
+  blocked_gemm_threaded(a, b, c);
+}
+
+void blocked_gemm(const CMat& a, const CMat& b, CMat& c) {
+#if QFC_SIMD_X86
+  if (simd_active()) {
+    if (a.rows() * a.cols() * b.cols() <= kGemmAxpySimdCutoff) {
+      count_blocked_gemm(a.rows(), a.cols(), b.cols(), true);
+      gemm_axpy_rows_avx2(a, b, c);
+      return;
+    }
+    blocked_gemm_planar(a, b, c);
+    return;
+  }
+#endif
+  if (a.rows() * a.cols() * b.cols() <= kGemmFlopCutoff) {
+    reference_gemm(a, b, c);
+    return;
+  }
+  blocked_gemm_threaded(a, b, c);
+}
 
 EigResult blocked_hermitian_eig(const CMat& input, const EigOptions& opt) {
   const std::size_t n = input.rows();
-  if (n < kEigBlockedMinDim) return reference_hermitian_eig(input, opt);
+  if (n < kEigCyclicMaxDim) return cyclic_hermitian_eig(input, opt);
 
   QFC_OBS_SPAN("linalg.eig.blocked", {{"n", n}});
   const bool count_metrics = obs::metrics_enabled();
   std::uint64_t sweeps_done = 0, rotations_done = 0;
 
   CMat a = hermitian_part(input);  // symmetrize away round-off
-  CMat v = opt.want_vectors ? CMat::identity(n) : CMat();
+  // The eigenvector accumulator is stored transposed (row j of `vt` is
+  // column j of V) so its rotation updates are unit-stride rotate_pair
+  // calls instead of stride-n column walks.
+  CMat vt = opt.want_vectors ? CMat::identity(n) : CMat();
   cplx* pa = a.data();
-  cplx* pv = opt.want_vectors ? v.data() : nullptr;
+  cplx* pvt = opt.want_vectors ? vt.data() : nullptr;
 
   const double stop =
       detail::jacobi_stop_threshold(std::max(a.frobenius_norm(), 1e-300), n);
@@ -271,7 +812,10 @@ EigResult blocked_hermitian_eig(const CMat& input, const EigOptions& opt) {
     bool active = false;
   };
   std::vector<Rot> rots(m / 2);
-  const auto wp = pool();
+  std::vector<ColRot> active_cols;
+  active_cols.reserve(m / 2);
+  const std::size_t nchunks = (n + kEigRowChunk - 1) / kEigRowChunk;
+  const auto wp = use_pool() ? pool() : std::shared_ptr<WorkerPool>();
 
   bool converged = false;
   for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
@@ -285,6 +829,7 @@ EigResult blocked_hermitian_eig(const CMat& input, const EigOptions& opt) {
       // Parameters from the round-start snapshot. Each pair reads only its
       // own (p,p), (q,q), (p,q) entries, which no other pair of the round
       // touches, so the snapshot is consistent by construction.
+      active_cols.clear();
       for (std::size_t i = 0; i < rots.size(); ++i) {
         const auto [p, q] = rr.pair(i);
         Rot& r = rots[i];
@@ -297,53 +842,44 @@ EigResult blocked_hermitian_eig(const CMat& input, const EigOptions& opt) {
         if (mag < 1e-300) continue;
         r.jp = jacobi_params(std::real(a(p, p)), std::real(a(q, q)), apq, mag);
         r.active = true;
+        active_cols.push_back(ColRot{p, q, r.jp.c, r.jp.sp});
         ++rotations_done;
       }
 
       // Phase 1 — left action J†A: rewrite rows p,q (contiguous memory,
       // disjoint across the round's pairs).
-      wp->run(rots.size(), [&](std::size_t i) {
+      run_tasks(wp, rots.size(), [&](std::size_t i) {
         const Rot& r = rots[i];
         if (!r.active) return;
-        const double c = r.jp.c;
-        const cplx sp = r.jp.sp, spc = std::conj(r.jp.sp);
-        cplx* rp = pa + r.p * n;
-        cplx* rq = pa + r.q * n;
-        for (std::size_t k = 0; k < n; ++k) {
-          const cplx x = rp[k], y = rq[k];
-          rp[k] = c * x - sp * y;
-          rq[k] = spc * x + c * y;
+        rotate_pair(pa + r.p * n, pa + r.q * n, n, r.jp.c, r.jp.sp,
+                    std::conj(r.jp.sp));
+      });
+
+      // Phase 2 — right action (J†A)J, swept row-by-row: each A row applies
+      // every rotation of the round (disjoint column pairs, so each element
+      // is touched by exactly one rotation — bitwise identical to a per-pair
+      // column walk, but unit-stride). The transposed eigenvector rows ride
+      // in the same task batch.
+      const std::size_t nv = pvt != nullptr ? active_cols.size() : 0;
+      run_tasks(wp, nchunks + nv, [&](std::size_t t) {
+        if (t < nchunks) {
+          const std::size_t r0 = t * kEigRowChunk;
+          const std::size_t r1 = std::min(r0 + kEigRowChunk, n);
+          apply_col_rotations(pa, n, r0, r1, active_cols.data(), active_cols.size());
+        } else {
+          const ColRot& r = active_cols[t - nchunks];
+          rotate_pair(pvt + r.p * n, pvt + r.q * n, n, r.c, std::conj(r.sp), r.sp);
         }
       });
 
-      // Phase 2 — right action (J†A)J on columns p,q plus the accumulated
-      // eigenvector columns; cleans the zeroed pivot and the diagonal.
-      wp->run(rots.size(), [&](std::size_t i) {
-        const Rot& r = rots[i];
-        if (!r.active) return;
-        const double c = r.jp.c;
-        const cplx sp = r.jp.sp, spc = std::conj(r.jp.sp);
-        cplx* cp = pa + r.p;
-        cplx* cq = pa + r.q;
-        for (std::size_t k = 0; k < n; ++k, cp += n, cq += n) {
-          const cplx x = *cp, y = *cq;
-          *cp = c * x - spc * y;
-          *cq = sp * x + c * y;
-        }
+      // Serial cleanup: zero the pivots exactly, enforce real diagonal
+      // (same values the per-pair tasks used to write).
+      for (const ColRot& r : active_cols) {
         a(r.p, r.q) = cplx(0, 0);
         a(r.q, r.p) = cplx(0, 0);
         a(r.p, r.p) = cplx(std::real(a(r.p, r.p)), 0);
         a(r.q, r.q) = cplx(std::real(a(r.q, r.q)), 0);
-        if (pv != nullptr) {
-          cplx* vp = pv + r.p;
-          cplx* vq = pv + r.q;
-          for (std::size_t k = 0; k < n; ++k, vp += n, vq += n) {
-            const cplx x = *vp, y = *vq;
-            *vp = c * x - spc * y;
-            *vq = sp * x + c * y;
-          }
-        }
-      });
+      }
     }
   }
   if (!converged && off_diag_norm2(a) > stop)
@@ -354,6 +890,7 @@ EigResult blocked_hermitian_eig(const CMat& input, const EigOptions& opt) {
     obs::counter("linalg.blocked.eig.sweeps").add(sweeps_done);
     obs::counter("linalg.blocked.eig.rotations").add(rotations_done);
   }
+  CMat v = opt.want_vectors ? vt.transpose() : CMat();
   return finalize_eig(a, v, opt.want_vectors);
 }
 
@@ -364,7 +901,6 @@ SvdResult blocked_svd(const CMat& a, int max_sweeps) {
     SvdResult t = blocked_svd(a.adjoint(), max_sweeps);
     return SvdResult{std::move(t.v), std::move(t.sigma), std::move(t.u)};
   }
-  if (n0 < kSvdBlockedMinDim) return reference_svd(a, max_sweeps);
 
   QFC_OBS_SPAN("linalg.svd.blocked", {{"m", m0}, {"n", n0}});
   const bool count_metrics = obs::metrics_enabled();
@@ -380,56 +916,53 @@ SvdResult blocked_svd(const CMat& a, int max_sweeps) {
   cplx* pw = wt.data();
   cplx* pv = vt.data();
 
-  const std::size_t mp = n + (n & 1);
-  const auto wp = pool();
-  std::atomic<bool> any_rotation{false};
+  // One column-pair step: Gram entries, negligibility test (reference
+  // thresholds), then the rotation on both factors. Returns whether it
+  // rotated. In scalar SIMD mode the cyclic order below reproduces the
+  // reference SVD bitwise; the AVX2 Gram reduction relaxes that to 1e-10.
+  const auto process_pair = [&](std::size_t p, std::size_t q) -> bool {
+    cplx* rp = pw + p * m;
+    cplx* rq = pw + q * m;
+    const GramDot g = gram_dot(rp, rq, m);
+    const double mag = std::abs(g.apq);
+    const double threshold = 1e-15 * std::sqrt(g.app * g.aqq);
+    if (mag <= threshold || mag < 1e-300) return false;
+    if (count_metrics) rotations_done.fetch_add(1, std::memory_order_relaxed);
+    const JacobiParams jp = jacobi_params(g.app, g.aqq, g.apq, mag);
+    const cplx spc = std::conj(jp.sp);
+    rotate_pair(rp, rq, m, jp.c, spc, jp.sp);
+    rotate_pair(pv + p * n, pv + q * n, n, jp.c, spc, jp.sp);
+    return true;
+  };
 
   bool converged = false;
-  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
-    ++sweeps_done;
-    any_rotation.store(false, std::memory_order_relaxed);
-    RoundRobin rr(mp);
-    for (std::size_t round = 0; round < rr.rounds(); ++round, rr.advance()) {
-      // One-sided rotations only touch their own two columns (= rows of the
-      // transposed copies), so a round needs no phase split at all.
-      wp->run(rr.pairs_per_round(), [&](std::size_t i) {
-        const auto [p, q] = rr.pair(i);
-        if (q >= n) return;  // bye pair
-        cplx* rp = pw + p * m;
-        cplx* rq = pw + q * m;
-        double app = 0, aqq = 0;
-        cplx apq(0, 0);
-        for (std::size_t k = 0; k < m; ++k) {
-          app += std::norm(rp[k]);
-          aqq += std::norm(rq[k]);
-          apq += std::conj(rp[k]) * rq[k];
-        }
-        const double mag = std::abs(apq);
-        const double threshold = 1e-15 * std::sqrt(app * aqq);
-        if (mag <= threshold || mag < 1e-300) return;
-        any_rotation.store(true, std::memory_order_relaxed);
-        if (count_metrics) rotations_done.fetch_add(1, std::memory_order_relaxed);
-
-        const JacobiParams jp = jacobi_params(app, aqq, apq, mag);
-        const double c = jp.c;
-        const cplx sp = jp.sp, spc = std::conj(jp.sp);
-        for (std::size_t k = 0; k < m; ++k) {
-          const cplx x = rp[k], y = rq[k];
-          rp[k] = c * x - spc * y;
-          rq[k] = sp * x + c * y;
-        }
-        cplx* vp = pv + p * n;
-        cplx* vq = pv + q * n;
-        for (std::size_t k = 0; k < n; ++k) {
-          const cplx x = vp[k], y = vq[k];
-          vp[k] = c * x - spc * y;
-          vq[k] = sp * x + c * y;
-        }
-      });
+  if (n < kSvdCyclicMaxDim) {
+    // Cyclic pair order, serial — reference rotation order.
+    for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+      ++sweeps_done;
+      bool rotated = false;
+      for (std::size_t p = 0; p + 1 < n; ++p)
+        for (std::size_t q = p + 1; q < n; ++q) rotated = process_pair(p, q) || rotated;
+      converged = !rotated;
     }
-    if (!any_rotation.load(std::memory_order_relaxed)) {
-      converged = true;
-      break;
+  } else {
+    const std::size_t mp = n + (n & 1);
+    const auto wp = use_pool() ? pool() : std::shared_ptr<WorkerPool>();
+    std::atomic<bool> any_rotation{false};
+    for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+      ++sweeps_done;
+      any_rotation.store(false, std::memory_order_relaxed);
+      RoundRobin rr(mp);
+      for (std::size_t round = 0; round < rr.rounds(); ++round, rr.advance()) {
+        // One-sided rotations only touch their own two columns (= rows of
+        // the transposed copies), so a round needs no phase split at all.
+        run_tasks(wp, rr.pairs_per_round(), [&](std::size_t i) {
+          const auto [p, q] = rr.pair(i);
+          if (q >= n) return;  // bye pair
+          if (process_pair(p, q)) any_rotation.store(true, std::memory_order_relaxed);
+        });
+      }
+      converged = !any_rotation.load(std::memory_order_relaxed);
     }
   }
   if (!converged) throw NumericalError("svd(blocked): one-sided Jacobi did not converge");
@@ -471,6 +1004,89 @@ SvdResult blocked_svd(const CMat& a, int max_sweeps) {
     for (std::size_t i = 0; i < n; ++i) res.v(i, j) = vrow[i];
   }
   return res;
+}
+
+// ------------------------------------------------------------ blocked kron
+//
+// out(i*rb+k, j*cb+l) = a(i,j) * b(k,l): each A entry scales a full B row
+// into its output block (scale_row — SIMD complex, bitwise-identical
+// product). Parallel over A rows; every output element is written by
+// exactly one task with the same single multiply as the inline template,
+// so results are bitwise identical across backends, SIMD modes, and
+// thread counts.
+
+template <class T>
+void blocked_kron_impl(const Mat<T>& a, const Mat<T>& b, Mat<T>& out) {
+  const std::size_t rb = b.rows(), cb = b.cols(), cols = out.cols();
+  const T* pb = b.data();
+  T* po = out.data();
+  const bool pooled = a.rows() >= 2 && use_pool();
+  for_row_chunks(pooled, a.rows(), kKronRowChunk,
+                 [&](std::size_t, std::size_t i0, std::size_t i1) {
+                   for (std::size_t i = i0; i < i1; ++i)
+                     for (std::size_t j = 0; j < a.cols(); ++j) {
+                       const T aij = a(i, j);
+                       if (aij == T{}) continue;  // block stays zero
+                       for (std::size_t k = 0; k < rb; ++k)
+                         scale_row(po + (i * rb + k) * cols + j * cb, pb + k * cb, cb, aij);
+                     }
+                 });
+}
+
+void blocked_kron(const RMat& a, const RMat& b, RMat& out) {
+  count_blocked_kron(out.size(), false);
+  blocked_kron_impl(a, b, out);
+}
+
+void blocked_kron(const CMat& a, const CMat& b, CMat& out) {
+  count_blocked_kron(out.size(), true);
+  blocked_kron_impl(a, b, out);
+}
+
+// ----------------------------------------------------------- batch drivers
+
+void parallel_batch(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);  // single problem: let the per-matrix kernel use the pool itself
+    return;
+  }
+  if (!use_pool()) {
+    // Inside a pool task (or single-threaded): same index order, inline.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const auto wp = pool();
+  wp->run(count, [&](std::size_t i) {
+    // Per-matrix kernels inside a task must not re-enter the pool.
+    SerialKernelScope scope;
+    fn(i);
+  });
+}
+
+std::vector<EigResult> blocked_hermitian_eig_batch(const std::vector<CMat>& as,
+                                                   const EigOptions& opt) {
+  std::vector<EigResult> out(as.size());
+  parallel_batch(as.size(),
+                 [&](std::size_t i) { out[i] = blocked_hermitian_eig(as[i], opt); });
+  return out;
+}
+
+std::vector<SvdResult> blocked_svd_batch(const std::vector<CMat>& as, int max_sweeps) {
+  std::vector<SvdResult> out(as.size());
+  parallel_batch(as.size(),
+                 [&](std::size_t i) { out[i] = blocked_svd(as[i], max_sweeps); });
+  return out;
+}
+
+std::vector<CMat> blocked_gemm_batch(const std::vector<CMat>& as,
+                                     const std::vector<CMat>& bs) {
+  std::vector<CMat> out(as.size());
+  parallel_batch(as.size(), [&](std::size_t i) {
+    out[i] = CMat(as[i].rows(), bs[i].cols());
+    blocked_gemm(as[i], bs[i], out[i]);
+  });
+  return out;
 }
 
 }  // namespace detail

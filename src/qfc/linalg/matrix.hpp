@@ -35,6 +35,11 @@ inline double abs2(const cplx& x) { return std::norm(x); }
 /// Defined in backend.cpp for the two scalar types the library instantiates.
 template <class T>
 void gemm_dispatch(const Mat<T>& a, const Mat<T>& b, Mat<T>& c);
+
+/// out = a ⊗ b through the active linalg backend; out is pre-sized and
+/// zero-initialized. Same explicit-specialization pattern as gemm_dispatch.
+template <class T>
+void kron_dispatch(const Mat<T>& a, const Mat<T>& b, Mat<T>& out);
 }  // namespace detail
 
 /// Dense row-major matrix. T is double or std::complex<double>.
@@ -198,20 +203,32 @@ using CMat = Mat<cplx>;
 using RMat = Mat<double>;
 
 namespace detail {
-// The only two gemm_dispatch instantiations, defined in backend.cpp and
-// declared here so every use of operator* sees the explicit specialization
-// before implicit instantiation ([temp.expl.spec]). Other scalar types have
-// no backend and fail at link.
+// The only gemm_dispatch / kron_dispatch instantiations, defined in
+// backend.cpp and declared here so every use of operator* / kron sees the
+// explicit specialization before implicit instantiation ([temp.expl.spec]).
+// Other scalar types have no backend and fail at link.
 template <>
 void gemm_dispatch<double>(const RMat& a, const RMat& b, RMat& c);
 template <>
 void gemm_dispatch<cplx>(const CMat& a, const CMat& b, CMat& c);
+template <>
+void kron_dispatch<double>(const RMat& a, const RMat& b, RMat& out);
+template <>
+void kron_dispatch<cplx>(const CMat& a, const CMat& b, CMat& out);
 }  // namespace detail
 
 /// Kronecker (tensor) product: (a ⊗ b)(i*rb+k, j*cb+l) = a(i,j)*b(k,l).
+/// Large products route through the backend seam (cache-blocked, threaded,
+/// SIMD-scaled row copies); every path computes each element with the same
+/// single multiply, so the result is bitwise identical on either side of
+/// the cutoff and across backends.
 template <class T>
 Mat<T> kron(const Mat<T>& a, const Mat<T>& b) {
   Mat<T> out(a.rows() * b.rows(), a.cols() * b.cols());
+  if (out.size() > 1024) {
+    detail::kron_dispatch(a, b, out);
+    return out;
+  }
   for (std::size_t i = 0; i < a.rows(); ++i)
     for (std::size_t j = 0; j < a.cols(); ++j) {
       const T aij = a(i, j);

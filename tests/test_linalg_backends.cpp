@@ -4,7 +4,9 @@
 // inputs, and must be bitwise invariant across worker-thread counts.
 
 #include <cmath>
+#include <cstdlib>
 #include <random>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -283,6 +285,263 @@ TEST(BackendIntegration, ValidationStillAppliesUnderBlockedBackend) {
   CMat not_hermitian = random_matrix(50, 50, 41);
   EXPECT_THROW(qfc::linalg::hermitian_eig(not_hermitian), std::invalid_argument);
   EXPECT_THROW(qfc::linalg::svd(CMat()), std::invalid_argument);
+}
+
+// --------------------------------------------------------- default backend
+
+TEST(BackendDispatch, ProcessDefaultIsBlocked) {
+  // Blocked wins on every benched kernel and dimension (see
+  // BENCH_linalg.json), so it is the process default. QFC_LINALG_BACKEND
+  // still overrides — skip the pin when the environment sets it.
+  if (std::getenv("QFC_LINALG_BACKEND") == nullptr) {
+    EXPECT_EQ(qfc::linalg::default_backend(), BackendKind::Blocked);
+  }
+}
+
+// ------------------------------------------------------------------ kron
+
+TEST(BackendParity, KronBitwiseAcrossBackendsAndInlinePath) {
+  // The kron micro-kernel is in the bitwise SIMD tier: Blocked must equal
+  // Reference exactly, which in turn equals the inline matrix.hpp loop.
+  const CMat a = random_matrix(12, 9, 501);
+  const CMat b = random_matrix(10, 14, 502);
+  CMat kr(120, 126), kb(120, 126);
+  backend(BackendKind::Reference).kron(a, b, kr);
+  backend(BackendKind::Blocked).kron(a, b, kb);
+  EXPECT_EQ(kr, kb);
+
+  CMat inline_loop(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      for (std::size_t k = 0; k < b.rows(); ++k)
+        for (std::size_t l = 0; l < b.cols(); ++l)
+          inline_loop(i * b.rows() + k, j * b.cols() + l) = a(i, j) * b(k, l);
+  EXPECT_EQ(kr, inline_loop);
+
+  const RMat ra = random_real(11, 7, 503);
+  const RMat rb = random_real(9, 13, 504);
+  RMat rr(99, 91), rbk(99, 91);
+  backend(BackendKind::Reference).kron(ra, rb, rr);
+  backend(BackendKind::Blocked).kron(ra, rb, rbk);
+  EXPECT_EQ(rr, rbk);
+}
+
+TEST(BackendParity, KronDispatchCutoffIsSeamless) {
+  // linalg::kron switches from the inline loop to the backend seam above
+  // 1024 output elements; results on both sides of the cutoff must equal
+  // the direct definition bitwise (the seam kernels share its arithmetic).
+  BackendGuard guard;
+  qfc::linalg::set_default_backend(BackendKind::Blocked);
+  for (const std::size_t nb : {8u, 9u}) {  // 4·4·8·8 = 1024 (inline), 1152 (seam)
+    const CMat a = random_matrix(4, 4, 510);
+    const CMat b = random_matrix(8, nb, 511 + static_cast<unsigned>(nb));
+    const CMat out = qfc::linalg::kron(a, b);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      for (std::size_t j = 0; j < a.cols(); ++j)
+        for (std::size_t k = 0; k < b.rows(); ++k)
+          for (std::size_t l = 0; l < b.cols(); ++l)
+            ASSERT_EQ(out(i * b.rows() + k, j * b.cols() + l), a(i, j) * b(k, l))
+                << "nb=" << nb;
+  }
+}
+
+// ----------------------------------------------------------------- batch
+
+TEST(BackendBatch, EigBatchMatchesPerMatrixBitwise) {
+  const EigOptions opt;
+  std::vector<CMat> as;
+  for (unsigned i = 0; i < 12; ++i) as.push_back(random_hermitian(16, 600 + i));
+  const auto& blk = backend(BackendKind::Blocked);
+  const auto batch = blk.hermitian_eig_batch(as, opt);
+  ASSERT_EQ(batch.size(), as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    const auto single = blk.hermitian_eig(as[i], opt);
+    EXPECT_EQ(single.values, batch[i].values) << "i=" << i;
+    EXPECT_EQ(single.vectors, batch[i].vectors) << "i=" << i;
+    const auto ref = backend(BackendKind::Reference).hermitian_eig(as[i], opt);
+    for (std::size_t k = 0; k < ref.values.size(); ++k)
+      EXPECT_NEAR(ref.values[k], batch[i].values[k], 1e-10) << "i=" << i;
+  }
+}
+
+TEST(BackendBatch, SvdBatchMatchesPerMatrixBitwise) {
+  std::vector<CMat> as;
+  for (unsigned i = 0; i < 8; ++i) as.push_back(random_matrix(20, 14, 640 + i));
+  const auto& blk = backend(BackendKind::Blocked);
+  const auto batch = blk.svd_batch(as, 96);
+  ASSERT_EQ(batch.size(), as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    const auto single = blk.svd(as[i], 96);
+    EXPECT_EQ(single.sigma, batch[i].sigma) << "i=" << i;
+    EXPECT_EQ(single.u, batch[i].u) << "i=" << i;
+    EXPECT_EQ(single.v, batch[i].v) << "i=" << i;
+    const auto ref = backend(BackendKind::Reference).svd(as[i], 96);
+    for (std::size_t k = 0; k < ref.sigma.size(); ++k)
+      EXPECT_NEAR(ref.sigma[k], batch[i].sigma[k], 1e-10) << "i=" << i;
+  }
+}
+
+TEST(BackendBatch, GemmBatchMatchesPerMatrix) {
+  std::vector<CMat> as, bs;
+  for (unsigned i = 0; i < 6; ++i) {
+    as.push_back(random_matrix(10 + i, 8, 660 + i));
+    bs.push_back(random_matrix(8, 12 + i, 680 + i));
+  }
+  const auto& blk = backend(BackendKind::Blocked);
+  const auto batch = blk.gemm_batch(as, bs);
+  ASSERT_EQ(batch.size(), as.size());
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    CMat single(as[i].rows(), bs[i].cols());
+    blk.gemm(as[i], bs[i], single);
+    EXPECT_EQ(single, batch[i]) << "i=" << i;
+  }
+}
+
+TEST(BackendBatch, EmptyAndMixedDimensionBatches) {
+  const auto& blk = backend(BackendKind::Blocked);
+  EXPECT_TRUE(blk.hermitian_eig_batch({}, {}).empty());
+  EXPECT_TRUE(blk.svd_batch({}, 96).empty());
+  EXPECT_TRUE(blk.gemm_batch({}, {}).empty());
+
+  // Mixed dimensions in one batch: each element follows its own shape.
+  std::vector<CMat> as = {random_hermitian(4, 700), random_hermitian(17, 701),
+                          random_hermitian(48, 702)};
+  const auto eig = blk.hermitian_eig_batch(as, {});
+  ASSERT_EQ(eig.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(eig[i].values.size(), as[i].rows()) << "i=" << i;
+    const CMat rec = blk.scaled_congruence(eig[i].vectors, eig[i].values);
+    EXPECT_LT(max_abs_diff(rec, as[i]), 1e-10) << "i=" << i;
+  }
+
+  std::vector<CMat> rect = {random_matrix(6, 10, 710), random_matrix(30, 12, 711)};
+  const auto svds = blk.svd_batch(rect, 96);
+  ASSERT_EQ(svds.size(), 2u);
+  EXPECT_EQ(svds[0].sigma.size(), 6u);
+  EXPECT_EQ(svds[1].sigma.size(), 12u);
+}
+
+TEST(BackendBatch, FreeFunctionsValidate) {
+  // The free entry points validate like their scalar counterparts.
+  std::vector<CMat> bad = {random_matrix(8, 8, 720)};  // not Hermitian
+  EXPECT_THROW(qfc::linalg::hermitian_eig_batch(bad), std::invalid_argument);
+  std::vector<CMat> as = {random_matrix(4, 5, 721)};
+  std::vector<CMat> bs = {random_matrix(6, 3, 722)};  // inner-dim mismatch
+  EXPECT_THROW(qfc::linalg::gemm_batch(as, bs), std::invalid_argument);
+}
+
+TEST(BackendBatch, BitwiseIdenticalAcrossThreadCounts) {
+  BackendGuard guard;
+  std::vector<CMat> hs, rects, gas, gbs;
+  for (unsigned i = 0; i < 10; ++i) {
+    hs.push_back(random_hermitian(16, 800 + i));
+    rects.push_back(random_matrix(12, 9, 820 + i));
+    gas.push_back(random_matrix(11, 7, 840 + i));
+    gbs.push_back(random_matrix(7, 13, 860 + i));
+  }
+  const auto& blk = backend(BackendKind::Blocked);
+
+  qfc::linalg::set_backend_threads(1);
+  const auto eig1 = blk.hermitian_eig_batch(hs, {});
+  const auto svd1 = blk.svd_batch(rects, 96);
+  const auto gemm1 = blk.gemm_batch(gas, gbs);
+
+  for (const unsigned threads : {2u, 4u}) {
+    qfc::linalg::set_backend_threads(threads);
+    const auto eig = blk.hermitian_eig_batch(hs, {});
+    const auto svd = blk.svd_batch(rects, 96);
+    const auto gemm = blk.gemm_batch(gas, gbs);
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      EXPECT_EQ(eig1[i].values, eig[i].values) << threads << " threads, i=" << i;
+      EXPECT_EQ(eig1[i].vectors, eig[i].vectors) << threads << " threads, i=" << i;
+      EXPECT_EQ(svd1[i].sigma, svd[i].sigma) << threads << " threads, i=" << i;
+      EXPECT_EQ(svd1[i].u, svd[i].u) << threads << " threads, i=" << i;
+      EXPECT_EQ(svd1[i].v, svd[i].v) << threads << " threads, i=" << i;
+      EXPECT_EQ(gemm1[i], gemm[i]) << threads << " threads, i=" << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------ SIMD policy
+
+/// Restores the SIMD request on scope exit.
+struct SimdGuard {
+  bool on = qfc::linalg::simd_request();
+  ~SimdGuard() { qfc::linalg::set_simd_enabled(on); }
+};
+
+TEST(BackendSimd, EigAndKronBitwiseAcrossSimdModes) {
+  // Policy pin: the rotation and kron kernels replicate scalar complex
+  // arithmetic exactly (mul/addsub, no FMA), so eig and kron are bitwise
+  // identical with SIMD on and off. On hardware without AVX2 both runs are
+  // scalar and the assertions hold trivially.
+  SimdGuard guard;
+  const CMat h = random_hermitian(64, 900);     // round-robin path
+  const CMat hs = random_hermitian(24, 901);    // cyclic path
+  const CMat ka = random_matrix(10, 10, 902);
+  const CMat kb = random_matrix(12, 12, 903);
+  const auto& blk = backend(BackendKind::Blocked);
+
+  qfc::linalg::set_simd_enabled(false);
+  const auto eig_off = blk.hermitian_eig(h, {});
+  const auto eig_small_off = blk.hermitian_eig(hs, {});
+  CMat kron_off(120, 120);
+  blk.kron(ka, kb, kron_off);
+
+  qfc::linalg::set_simd_enabled(true);
+  const auto eig_on = blk.hermitian_eig(h, {});
+  const auto eig_small_on = blk.hermitian_eig(hs, {});
+  CMat kron_on(120, 120);
+  blk.kron(ka, kb, kron_on);
+
+  EXPECT_EQ(eig_off.values, eig_on.values);
+  EXPECT_EQ(eig_off.vectors, eig_on.vectors);
+  EXPECT_EQ(eig_small_off.values, eig_small_on.values);
+  EXPECT_EQ(eig_small_off.vectors, eig_small_on.vectors);
+  EXPECT_EQ(kron_off, kron_on);
+}
+
+TEST(BackendSimd, GemmAndSvdStayWithinToleranceAcrossSimdModes) {
+  // Policy pin: the planar-FMA GEMM and the vectorized SVD Gram reductions
+  // reorder accumulation, so they carry the relaxed 1e-10 contract (the
+  // small-GEMM axpy path below the cutoff stays bitwise).
+  SimdGuard guard;
+  const CMat a = random_matrix(48, 48, 910);
+  const CMat b = random_matrix(48, 48, 911);
+  const CMat small_a = random_matrix(8, 8, 912);
+  const CMat small_b = random_matrix(8, 8, 913);
+  const CMat r = random_matrix(40, 32, 914);
+  const auto& blk = backend(BackendKind::Blocked);
+
+  qfc::linalg::set_simd_enabled(false);
+  CMat gemm_off(48, 48), small_off(8, 8);
+  blk.gemm(a, b, gemm_off);
+  blk.gemm(small_a, small_b, small_off);
+  const auto svd_off = blk.svd(r, 96);
+
+  qfc::linalg::set_simd_enabled(true);
+  CMat gemm_on(48, 48), small_on(8, 8);
+  blk.gemm(a, b, gemm_on);
+  blk.gemm(small_a, small_b, small_on);
+  const auto svd_on = blk.svd(r, 96);
+
+  EXPECT_LT(max_abs_diff(gemm_off, gemm_on), 1e-10);
+  EXPECT_EQ(small_off, small_on);  // axpy path: bitwise even with SIMD
+  ASSERT_EQ(svd_off.sigma.size(), svd_on.sigma.size());
+  for (std::size_t i = 0; i < svd_off.sigma.size(); ++i)
+    EXPECT_NEAR(svd_off.sigma[i], svd_on.sigma[i], 1e-10);
+}
+
+TEST(BackendSimd, BlockedMatchesReferenceWithSimdDisabled) {
+  // With SIMD off the Blocked eig below the cyclic cutoff IS the reference
+  // sweep: bitwise equality, not just 1e-10.
+  SimdGuard guard;
+  qfc::linalg::set_simd_enabled(false);
+  const CMat h = random_hermitian(24, 920);
+  const auto er = backend(BackendKind::Reference).hermitian_eig(h, {});
+  const auto eb = backend(BackendKind::Blocked).hermitian_eig(h, {});
+  EXPECT_EQ(er.values, eb.values);
+  EXPECT_EQ(er.vectors, eb.vectors);
 }
 
 }  // namespace
