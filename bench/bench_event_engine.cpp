@@ -2,11 +2,15 @@
 // CAR (coincidence) matrix, legacy per-channel path (per-channel streams +
 // n² pairwise measure_car re-scans) vs EventEngine + single merge-sweep
 // car_matrix, engine-only rows for the pulsed and piecewise-rate emission
-// modes, and analysis thread-scaling rows (the sharded car_matrix /
-// correlate_all sweeps at 1/2/4 workers). Also checks that the two CW
+// modes, analysis thread-scaling rows (the sharded car_matrix /
+// correlate_all sweeps at 1/2/4 workers), and streaming rows: a
+// bounded-memory probe (peak RSS must stay flat across a 10x run-length
+// increase — the bounded_rss flag) plus a window-size sweep of the
+// streamed generation + online CAR path. Also checks that the two CW
 // paths produce identical cells, that every emission mode is bitwise
-// invariant across generation thread counts, and that the sharded analysis
-// sweeps are bitwise invariant across analysis worker counts.
+// invariant across generation thread counts, that the sharded analysis
+// sweeps are bitwise invariant across analysis worker counts, and that
+// every streamed CAR is bitwise identical to the batch one.
 //
 // Usage: bench_event_engine [--smoke] [--json PATH] [--help]
 //   --smoke   smaller durations / channel counts (CI)
@@ -23,10 +27,12 @@
 #endif
 
 #include "bench_util.hpp"
+#include "qfc/detect/channel_rng.hpp"
 #include "qfc/detect/coincidence.hpp"
 #include "qfc/detect/detector.hpp"
 #include "qfc/detect/event_engine.hpp"
 #include "qfc/detect/event_stream.hpp"
+#include "qfc/detect/streaming.hpp"
 #include "qfc/obs/obs.hpp"
 #include "qfc/rng/xoshiro.hpp"
 
@@ -119,26 +125,29 @@ double ms_since(Clock::time_point t0) {
 }
 
 /// Legacy path: per-channel streams through the single-stream kernels
-/// (same fork-per-channel seeding as the engine, so the streams match),
-/// then n x n pairwise measure_car re-scans of the full click vectors.
+/// (same fork-per-channel and per-stage sub-stream seeding as the engine,
+/// so the streams match), then n x n pairwise measure_car re-scans of the
+/// full click vectors.
 std::vector<detect::CarResult> legacy_car_matrix(
     const std::vector<detect::ChannelPairSpec>& specs, double duration_s) {
   const std::size_t n = specs.size();
   std::vector<std::vector<double>> sig(n), idl(n);
+  const std::vector<double> no_extra_darks;
   rng::Xoshiro256 master(kSeed);
   for (std::size_t c = 0; c < n; ++c) {
     rng::Xoshiro256 g = master.fork(static_cast<std::uint64_t>(c + 1));
+    detect::detail::ChannelRngs r = detect::detail::fork_channel_rngs(g);
     detect::PairStreamParams p;
     p.pair_rate_hz = specs[c].pair_rate_hz;
     p.linewidth_hz = specs[c].linewidth_hz;
     p.duration_s = duration_s;
     p.transmission_a = specs[c].transmission_signal;
     p.transmission_b = specs[c].transmission_idler;
-    const auto photons = detect::generate_pair_arrivals(p, g);
+    const auto photons = detect::generate_pair_arrivals(p, r.pair);
     sig[c] = detect::SinglePhotonDetector(specs[c].detector_signal)
-                 .detect(photons.a, duration_s, g);
+                 .detect(photons.a, no_extra_darks, duration_s, r.det_a, r.dark_a);
     idl[c] = detect::SinglePhotonDetector(specs[c].detector_idler)
-                 .detect(photons.b, duration_s, g);
+                 .detect(photons.b, no_extra_darks, duration_s, r.det_b, r.dark_b);
   }
   std::vector<detect::CarResult> cells;
   cells.reserve(n * n);
@@ -275,6 +284,48 @@ std::vector<AnalysisRow> bench_analysis_threads(const detect::EngineResult& even
   return rows;
 }
 
+bool car_cells_identical(const detect::CarMatrix& a, const detect::CarMatrix& b) {
+  if (a.cells.size() != b.cells.size()) return false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    if (a.cells[i].coincidences != b.cells[i].coincidences) return false;
+    if (a.cells[i].accidentals != b.cells[i].accidentals) return false;
+  }
+  return true;
+}
+
+/// Streamed generation + online CAR: windowed engine into the streaming
+/// accumulator, consumed windows discarded as they resolve.
+detect::CarMatrix run_streamed_car(const std::vector<detect::ChannelPairSpec>& specs,
+                                   double duration_s, double window_s,
+                                   std::size_t* events_out = nullptr) {
+  detect::EngineConfig ec;
+  ec.duration_s = duration_s;
+  ec.seed = kSeed;
+  detect::StreamConfig sc;
+  sc.window_s = window_s;
+  detect::EventStreamer streamer(ec, sc, specs);
+  detect::StreamingCarAccumulator car(kWindow, kSpacing);
+  detect::StreamWindow w;
+  std::size_t events = 0;
+  while (streamer.next(w)) {
+    events += w.events.signal.size() + w.events.idler.size();
+    car.push(w);
+  }
+  if (events_out != nullptr) *events_out = events;
+  return car.finish();
+}
+
+/// Streaming window-size sweep row: streamed run wall time and throughput
+/// at one window size, with the bitwise CAR-parity flag vs the batch path.
+struct StreamRow {
+  double window_s = 0;
+  double stream_ms = 0;
+  std::size_t events = 0;
+  double events_per_sec = 0;
+  long max_rss_kb = 0;
+  bool identical = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,6 +344,35 @@ int main(int argc, char** argv) {
   const double duration_s = smoke ? 0.5 : 2.0;
   const std::vector<int> channel_counts =
       smoke ? std::vector<int>{1, 2, 5, 10} : std::vector<int>{1, 2, 5, 10, 20, 35, 50};
+
+  // Streaming bounded-memory probe. ru_maxrss is monotonic, so these rows
+  // run before anything else builds full batch tables: the streamed run at
+  // duration D sets the RSS peak, and re-running at 10 D with the same
+  // window must not move it (windows are discarded as the accumulator
+  // resolves them) — flat peak RSS across the 10x growth IS the
+  // bounded-memory claim (bounded_rss, gated by check_bench.py).
+  const int probe_n = smoke ? 5 : 10;
+  const double probe_duration_s = smoke ? 0.3 : 1.0;
+  const double probe_window_s = probe_duration_s / 20.0;
+  const auto probe_specs = make_specs(probe_n);
+  std::size_t probe_events = 0, probe_events_10x = 0;
+  auto t_probe = Clock::now();
+  run_streamed_car(probe_specs, probe_duration_s, probe_window_s, &probe_events);
+  const double probe_base_ms = ms_since(t_probe);
+  const long rss_base_kb = peak_rss_kb();
+  t_probe = Clock::now();
+  run_streamed_car(probe_specs, 10.0 * probe_duration_s, probe_window_s,
+                   &probe_events_10x);
+  const double probe_10x_ms = ms_since(t_probe);
+  const long rss_10x_kb = peak_rss_kb();
+  const bool bounded_rss =
+      rss_base_kb > 0 && rss_10x_kb <= rss_base_kb + rss_base_kb / 10;
+  std::printf(
+      "streaming bounded-memory probe (n=%d, window %.3g s): %.1f s -> %ld KB "
+      "(%zu ev), %.1f s -> %ld KB (%zu ev): %s\n",
+      probe_n, probe_window_s, probe_duration_s, rss_base_kb, probe_events,
+      10.0 * probe_duration_s, rss_10x_kb, probe_events_10x,
+      bounded_rss ? "flat (bounded)" : "GREW > 10%");
 
   std::printf("duration per run: %.2f s, window %.0f ns, spacing %.0f ns\n",
               duration_s, kWindow * 1e9, kSpacing * 1e9);
@@ -383,6 +463,35 @@ int main(int argc, char** argv) {
                 r.correlate_ms, r.speedup_vs_1t, r.deterministic ? "yes" : "NO");
   }
 
+  // Streaming window-size sweep: streamed generation + online CAR at
+  // several window sizes over the n=10 CW workload, each row checked
+  // bitwise against one batch run + batch car_matrix.
+  std::size_t batch_events = 0;
+  auto t0s = Clock::now();
+  const auto batch_car =
+      engine_car_matrix(specs10, duration_s, /*num_threads=*/0, &batch_events);
+  const double batch_ms = ms_since(t0s);
+  std::vector<StreamRow> stream_rows;
+  bool stream_identical = true;
+  std::printf("\nstreaming window sweep (n=10, batch %.1f ms)\n", batch_ms);
+  std::printf("%12s %12s %17s %12s %10s\n", "window[s]", "stream[ms]", "throughput",
+              "peak RSS", "identical");
+  for (const double frac : {1.0 / 50.0, 1.0 / 10.0, 1.0 / 2.0}) {
+    StreamRow r;
+    r.window_s = duration_s * frac;
+    t0s = Clock::now();
+    const auto streamed = run_streamed_car(specs10, duration_s, r.window_s, &r.events);
+    r.stream_ms = ms_since(t0s);
+    r.events_per_sec =
+        r.stream_ms > 0 ? static_cast<double>(r.events) / (r.stream_ms / 1e3) : 0;
+    r.max_rss_kb = peak_rss_kb();
+    r.identical = car_cells_identical(streamed, batch_car);
+    stream_identical = stream_identical && r.identical;
+    stream_rows.push_back(r);
+    std::printf("%12.4f %12.1f %12.3g ev/s %9ld KB %10s\n", r.window_s, r.stream_ms,
+                r.events_per_sec, r.max_rss_kb, r.identical ? "yes" : "NO");
+  }
+
   std::vector<std::string> json_rows;
   json_rows.reserve(rows.size() + mode_rows.size());
   for (const Row& r : rows)
@@ -402,6 +511,19 @@ int main(int argc, char** argv) {
         "\"correlate_ms\": %.3f, \"speedup_vs_1t\": %.3f, \"deterministic\": %s}",
         r.threads, n_analysis, r.car_ms, r.correlate_ms, r.speedup_vs_1t,
         r.deterministic ? "true" : "false"));
+  json_rows.push_back(bench::format(
+      "{\"kernel\": \"streaming_rss\", \"n\": %d, \"window_s\": %.6f, "
+      "\"duration_s\": %.3f, \"base_ms\": %.3f, \"ten_x_ms\": %.3f, "
+      "\"rss_base_kb\": %ld, \"rss_10x_kb\": %ld, \"bounded_rss\": %s}",
+      probe_n, probe_window_s, probe_duration_s, probe_base_ms, probe_10x_ms,
+      rss_base_kb, rss_10x_kb, bounded_rss ? "true" : "false"));
+  for (const StreamRow& r : stream_rows)
+    json_rows.push_back(bench::format(
+        "{\"kernel\": \"streaming\", \"n\": 10, \"window_s\": %.6f, "
+        "\"stream_ms\": %.3f, \"batch_ms\": %.3f, \"events\": %zu, "
+        "\"events_per_sec\": %.1f, \"max_rss_kb\": %ld, \"identical\": %s}",
+        r.window_s, r.stream_ms, batch_ms, r.events, r.events_per_sec, r.max_rss_kb,
+        r.identical ? "true" : "false"));
   bench::write_json(json_path, "event_engine", smoke, json_rows,
                     {bench::format("\"duration_s\": %.3f", duration_s),
                      bench::format("\"speedup_n10\": %.3f", speedup_n10),
@@ -411,16 +533,19 @@ int main(int argc, char** argv) {
                      "\"obs\": " + obs_report.json_object()});
 
   // Exit code gates on correctness only (cell identity + thread-count
-  // determinism in every emission mode and in the sharded analysis sweep);
-  // the speedup target is reported but not allowed to fail CI on a noisy
-  // shared runner.
-  const bool correct =
-      all_identical && deterministic && modes_deterministic && analysis_deterministic;
+  // determinism in every emission mode and in the sharded analysis sweep +
+  // streaming parity and bounded RSS); the speedup target is reported but
+  // not allowed to fail CI on a noisy shared runner.
+  const bool correct = all_identical && deterministic && modes_deterministic &&
+                       analysis_deterministic && stream_identical && bounded_rss;
   const bool ok = correct && speedup_n10 >= 5.0;
   bench::verdict(ok, "n=10 speedup " + std::to_string(speedup_n10) + "x, cells " +
                          (all_identical ? "identical" : "DIFFER") + ", " +
                          (deterministic && modes_deterministic && analysis_deterministic
                               ? "thread-invariant (generation + analysis)"
-                              : "NOT thread-invariant"));
+                              : "NOT thread-invariant") +
+                         ", streaming " +
+                         (stream_identical ? "bitwise-parity" : "PARITY BROKEN") +
+                         ", RSS " + (bounded_rss ? "bounded" : "UNBOUNDED"));
   return correct ? 0 : 1;
 }

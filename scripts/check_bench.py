@@ -10,8 +10,10 @@ recorded on the same hardware) fails (exit 1) when:
     --max-slowdown (default 0.35 = 35%) on any ``*_ms`` field whose baseline
     value is at least --min-ms (tiny rows are all timer noise), or
   * any correctness flag (``identical``, ``match``, ``deterministic``,
-    ``eig_n128_blocked_wins``) is false in the candidate — per row or
-    top-level, regardless of the baseline, or
+    ``eig_n128_blocked_wins``, ``bounded_rss`` — the last asserting the
+    streaming engine's flat-RSS claim across a 10x run-length increase) is
+    false in the candidate — per row or top-level, regardless of the
+    baseline, or
   * a baseline row has no matching candidate row (coverage regression).
 
 Ratio mode (``--ratios-only``, used by the GitHub ``bench`` job) ignores the
@@ -52,7 +54,13 @@ import json
 import sys
 
 KEY_FIELDS = ("kernel", "emission", "mode", "threads", "n")
-FLAG_FIELDS = ("identical", "match", "deterministic", "eig_n128_blocked_wins")
+FLAG_FIELDS = (
+    "identical",
+    "match",
+    "deterministic",
+    "eig_n128_blocked_wins",
+    "bounded_rss",
+)
 
 
 def row_key(row):

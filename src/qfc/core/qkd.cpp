@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "qfc/detect/streaming.hpp"
 #include "qfc/photonics/constants.hpp"
 
 namespace qfc::core {
@@ -136,6 +137,55 @@ std::vector<MultiplexedQkdLink::StreamCheck> MultiplexedQkdLink::monte_carlo_str
     StreamCheck r;
     r.k = k;
     r.car = matrix.at(c, c);
+    r.measured_coincidence_rate_hz =
+        std::max(0.0, r.car.coincidences - r.car.accidentals) / duration_s;
+    r.measured_accidental_rate_hz = r.car.accidentals / duration_s;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<MultiplexedQkdLink::StreamCheck> MultiplexedQkdLink::long_run_stream_check(
+    double distance_km, double duration_s, double stream_window_s,
+    std::uint64_t seed) const {
+  if (distance_km < 0)
+    throw std::invalid_argument("long_run_stream_check: negative distance");
+
+  fiber::FiberParams span = params_.fiber;
+  span.length_m = distance_km * 1000.0 / 2.0;
+  const double t_arm = fiber::FiberChannel(span).transmission();
+
+  const auto& cfg = experiment_->config();
+  std::vector<detect::ChannelPairSpec> specs;
+  specs.reserve(static_cast<std::size_t>(cfg.num_channel_pairs));
+  for (int k = 1; k <= cfg.num_channel_pairs; ++k) {
+    detect::ChannelPairSpec spec =
+        experiment_->cw_equivalent_spec(k, params_.dark_rate_hz);
+    spec.transmission_signal = t_arm;
+    spec.transmission_idler = t_arm;
+    specs.push_back(spec);
+  }
+
+  detect::EngineConfig ec;
+  ec.duration_s = duration_s;
+  ec.seed = seed;
+  detect::StreamConfig sc;
+  sc.window_s = stream_window_s;
+  const double window = params_.coincidence_window_s;
+  detect::EventStreamer streamer(ec, sc, specs);
+  detect::StreamingCarAccumulator car(
+      window, /*side_window_spacing_s=*/std::max(100e-9, 20.0 * window));
+  detect::StreamWindow w;
+  while (streamer.next(w)) car.push(w);
+  const detect::CarMatrix matrix = car.finish();
+
+  std::vector<StreamCheck> out;
+  out.reserve(specs.size());
+  for (int k = 1; k <= cfg.num_channel_pairs; ++k) {
+    const auto c = static_cast<std::size_t>(k - 1);
+    StreamCheck r;
+    r.k = k;
+    r.car = matrix.cells.empty() ? detect::CarResult{} : matrix.at(c, c);
     r.measured_coincidence_rate_hz =
         std::max(0.0, r.car.coincidences - r.car.accidentals) / duration_s;
     r.measured_accidental_rate_hz = r.car.accidentals / duration_s;

@@ -84,6 +84,17 @@ class MultiplexedQkdLink {
                                                     double duration_s,
                                                     std::uint64_t seed = 1176) const;
 
+  /// Bounded-memory form of monte_carlo_stream_check for long soak runs:
+  /// the same channel specs feed the windowed streaming engine
+  /// (detect::EventStreamer) and an online CAR accumulator, so resident
+  /// memory is set by `stream_window_s` — not `duration_s` — while every
+  /// reported number is bitwise identical to the batch check at any
+  /// window size (streaming parity contract).
+  std::vector<StreamCheck> long_run_stream_check(double distance_km,
+                                                 double duration_s,
+                                                 double stream_window_s = 1.0,
+                                                 std::uint64_t seed = 1176) const;
+
  private:
   const TimebinExperiment* experiment_;
   QkdLinkParams params_;

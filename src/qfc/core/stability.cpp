@@ -6,6 +6,7 @@
 
 #include "qfc/detect/coincidence.hpp"
 #include "qfc/detect/event_engine.hpp"
+#include "qfc/detect/streaming.hpp"
 #include "qfc/photonics/constants.hpp"
 #include "qfc/photonics/device_presets.hpp"
 #include "qfc/rng/distributions.hpp"
@@ -112,55 +113,33 @@ CountedStabilityTrace StabilityExperiment::run_counted_scheme(
   // delay scales wide loses a negligible fraction of true pairs, while
   // accidentals at Hz-level rates are vanishing.
   const double window_s = 40e-9;
-  // Generate in bounded chunks of intervals so the transient click tables
-  // stay tens of MB even for multi-week observations.
-  const std::size_t intervals_per_chunk = 24;
-  // Per-chunk engine seeds come from one forked master so the counts are
-  // a pure function of cfg_.seed and the locking scheme.
-  rng::Xoshiro256 chunk_seeds(cfg_.seed + 77 +
-                              (locking == photonics::PumpLocking::SelfLocked ? 0 : 1));
-
-  out.counts.reserve(n);
-  double sum = 0;
-  for (std::size_t chunk_start = 0; chunk_start < n; chunk_start += intervals_per_chunk) {
-    const std::size_t chunk_end = std::min(n, chunk_start + intervals_per_chunk);
-    spec.segments.clear();
-    for (std::size_t i = chunk_start; i < chunk_end; ++i) {
-      detect::RateSegment seg;
-      seg.duration_s = cfg_.sample_interval_s;
-      seg.pair_rate_hz = mean_coincidence_rate_hz * out.trace.relative_rate[i];
-      spec.segments.push_back(seg);
-    }
-
-    detect::EngineConfig ec;
-    ec.duration_s = static_cast<double>(chunk_end - chunk_start) * cfg_.sample_interval_s;
-    ec.seed = chunk_seeds();
-    const detect::EngineResult events = detect::EventEngine(ec).run({spec});
-    const double* sb = events.signal.channel_begin(0);
-    const double* se = events.signal.channel_end(0);
-    const double* ib = events.idler.channel_begin(0);
-    const double* ie = events.idler.channel_end(0);
-
-    for (std::size_t i = chunk_start; i < chunk_end; ++i) {
-      const double t0 = static_cast<double>(i - chunk_start) * cfg_.sample_interval_s;
-      const double t1 = t0 + cfg_.sample_interval_s;
-      const std::vector<double> sig(std::lower_bound(sb, se, t0),
-                                    std::lower_bound(sb, se, t1));
-      const std::vector<double> idl(std::lower_bound(ib, ie, t0),
-                                    std::lower_bound(ib, ie, t1));
-      const auto c = detect::count_coincidences(sig, idl, window_s);
-      out.counts.push_back(static_cast<double>(c));
-      sum += static_cast<double>(c);
-    }
+  // One piecewise schedule covering the whole observation: the drifting
+  // relative-rate trace becomes the segment pair rates, and the windowed
+  // streaming engine generates it one sample interval at a time, so click
+  // memory stays bounded by the busiest interval even for multi-week runs.
+  spec.segments.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    detect::RateSegment seg;
+    seg.duration_s = cfg_.sample_interval_s;
+    seg.pair_rate_hz = mean_coincidence_rate_hz * out.trace.relative_rate[i];
+    spec.segments.push_back(seg);
   }
-  out.mean_counts = sum / static_cast<double>(out.counts.size());
 
-  if (out.mean_counts > 0) {
-    std::vector<double> fractional;
-    fractional.reserve(out.counts.size());
-    for (const double c : out.counts) fractional.push_back(c / out.mean_counts);
-    out.allan = detect::allan_curve(fractional, cfg_.sample_interval_s);
-  }
+  detect::EngineConfig ec;
+  ec.duration_s = static_cast<double>(n) * cfg_.sample_interval_s;
+  ec.seed = cfg_.seed + 77 +
+            (locking == photonics::PumpLocking::SelfLocked ? 0 : 1);
+  detect::StreamConfig sc;
+  sc.window_s = cfg_.sample_interval_s;
+  detect::EventStreamer streamer(ec, sc, {spec});
+  detect::StreamingAllanAccumulator allan(window_s, cfg_.sample_interval_s);
+  detect::StreamWindow w;
+  while (streamer.next(w)) allan.push(w);
+
+  detect::StreamingAllanResult res = allan.finish();
+  out.counts = std::move(res.counts);
+  out.mean_counts = res.mean_counts;
+  out.allan = std::move(res.allan);
   return out;
 }
 

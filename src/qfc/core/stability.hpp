@@ -73,10 +73,12 @@ class StabilityExperiment {
   /// (unit efficiency, no darks — the counted quantity is the coincidence
   /// rate itself), each sample interval's count is the windowed
   /// signal-idler coincidence count of the raw clicks, and the fractional
-  /// counts go through the overlapping Allan deviation. Long observations
-  /// are generated in bounded chunks of intervals so click-table memory
-  /// stays flat; the chunking is fixed, so results are deterministic in
-  /// cfg.seed.
+  /// counts go through the overlapping Allan deviation. The run streams
+  /// through the windowed engine (detect::EventStreamer, one window per
+  /// sample interval) into a detect::StreamingAllanAccumulator, so click
+  /// memory stays bounded by the busiest interval for multi-week
+  /// observations; results are deterministic in cfg.seed (and independent
+  /// of thread counts) by the streaming parity contract.
   CountedStabilityTrace run_counted_scheme(photonics::PumpLocking locking,
                                            double mean_coincidence_rate_hz);
 

@@ -33,6 +33,16 @@ std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arri
                                                  const std::vector<double>& extra_darks,
                                                  double duration_s,
                                                  rng::Xoshiro256& g) const {
+  // Aliasing one generator into both roles reproduces the historical draw
+  // order exactly: photon-pass draws first, dark-pass draws after.
+  return detect(arrivals, extra_darks, duration_s, g, g);
+}
+
+std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arrivals,
+                                                 const std::vector<double>& extra_darks,
+                                                 double duration_s,
+                                                 rng::Xoshiro256& g_photon,
+                                                 rng::Xoshiro256& g_dark) const {
   if (duration_s <= 0) throw std::invalid_argument("detect: duration <= 0");
   if (!std::is_sorted(extra_darks.begin(), extra_darks.end()))
     throw std::invalid_argument("detect: extra dark clicks unsorted");
@@ -42,10 +52,9 @@ std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arri
 
   // Photon-induced clicks.
   for (double t : arrivals) {
-    if (t < 0 || t >= duration_s) continue;
-    if (!rng::sample_bernoulli(g, params_.efficiency)) continue;
-    const double jittered = t + rng::sample_normal(g, 0.0, params_.jitter_sigma_s);
-    if (jittered >= 0 && jittered < duration_s) clicks.push_back(jittered);
+    double click;
+    if (detect_photon_click(t, params_, duration_s, g_photon, click))
+      clicks.push_back(click);
   }
 
   // Photon clicks are nearly sorted already (jitter is tiny vs typical
@@ -56,7 +65,7 @@ std::vector<double> SinglePhotonDetector::detect(const std::vector<double>& arri
   // Dark / background clicks: homogeneous Poisson process, generated in
   // time order, so a linear merge replaces concatenate-and-resort.
   if (params_.dark_rate_hz > 0) {
-    const auto darks = generate_poisson_arrivals(params_.dark_rate_hz, duration_s, g);
+    const auto darks = generate_poisson_arrivals(params_.dark_rate_hz, duration_s, g_dark);
     if (obs::metrics_enabled())
       obs::counter("detect.darks_injected").add(darks.size());
     std::vector<double> merged(clicks.size() + darks.size());

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "qfc/rng/distributions.hpp"
 #include "qfc/rng/xoshiro.hpp"
 
 namespace qfc::detect {
@@ -47,6 +48,18 @@ class SinglePhotonDetector {
                              const std::vector<double>& extra_dark_clicks_s,
                              double duration_s, rng::Xoshiro256& g) const;
 
+  /// Core overload with split randomness: the photon pass (efficiency +
+  /// jitter draws, via detect_photon_click) consumes `g_photon` and the
+  /// internal dark-count pass consumes `g_dark`. The single-generator
+  /// overloads alias one generator into both roles, which reproduces their
+  /// historical draw sequence exactly (photon draws first, then darks); the
+  /// engine and the streaming path pass two independent forked streams so
+  /// the two passes can be windowed independently.
+  std::vector<double> detect(const std::vector<double>& photon_arrivals_s,
+                             const std::vector<double>& extra_dark_clicks_s,
+                             double duration_s, rng::Xoshiro256& g_photon,
+                             rng::Xoshiro256& g_dark) const;
+
   /// Expected singles rate for a given true photon rate (analytic; ignores
   /// dead-time saturation which is negligible at the rates simulated here).
   double expected_singles_rate_hz(double photon_rate_hz) const;
@@ -54,5 +67,22 @@ class SinglePhotonDetector {
  private:
   DetectorParams params_;
 };
+
+/// One photon arrival through the efficiency + jitter front end: returns
+/// true (and writes the click time) iff the photon is detected and its
+/// jittered timestamp lands inside [0, duration). Exactly the per-arrival
+/// body of SinglePhotonDetector::detect — shared with the streaming engine
+/// so batch and windowed runs consume identical draw sequences. Note the
+/// jitter draw happens only when the efficiency Bernoulli succeeds.
+inline bool detect_photon_click(double t_s, const DetectorParams& params,
+                                double duration_s, rng::Xoshiro256& g,
+                                double& click_out_s) {
+  if (t_s < 0 || t_s >= duration_s) return false;
+  if (!rng::sample_bernoulli(g, params.efficiency)) return false;
+  const double jittered = t_s + rng::sample_normal(g, 0.0, params.jitter_sigma_s);
+  if (jittered < 0 || jittered >= duration_s) return false;
+  click_out_s = jittered;
+  return true;
+}
 
 }  // namespace qfc::detect

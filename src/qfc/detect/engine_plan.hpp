@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file engine_plan.hpp
+/// Internal: per-channel generation plan shared by the batch engine
+/// (event_engine.cpp) and the windowed streaming engine (streaming.cpp).
+/// Builds the validated kernel-parameter structs for a ChannelPairSpec so
+/// both paths reject bad specs identically and drive the same emission
+/// kernels with the same parameters. Not installed API; include only from
+/// qfc::detect translation units.
+
+#include <stdexcept>
+
+#include "qfc/detect/event_engine.hpp"
+#include "qfc/detect/event_stream.hpp"
+
+namespace qfc::detect::detail {
+
+/// Per-channel generation plan, fully validated before any parallel work.
+struct ChannelPlan {
+  EmissionMode mode = EmissionMode::Cw;
+  PairStreamParams cw;
+  PulsedStreamParams pulsed;
+  PiecewiseStreamParams piecewise;
+};
+
+inline ChannelPlan make_plan(const ChannelPairSpec& spec, double duration_s) {
+  ChannelPlan plan;
+  plan.mode = spec.emission;
+  switch (spec.emission) {
+    case EmissionMode::Cw:
+      plan.cw.pair_rate_hz = spec.pair_rate_hz;
+      plan.cw.linewidth_hz = spec.linewidth_hz;
+      plan.cw.duration_s = duration_s;
+      plan.cw.transmission_a = spec.transmission_signal;
+      plan.cw.transmission_b = spec.transmission_idler;
+      plan.cw.validate();
+      break;
+    case EmissionMode::Pulsed:
+      if (spec.pair_rate_hz != 0)
+        throw std::invalid_argument(
+            "ChannelPairSpec: Pulsed mode needs pair_rate_hz == 0 (the rate is "
+            "mean_pairs_per_pulse x repetition_rate_hz)");
+      plan.pulsed.repetition_rate_hz = spec.pulsed.repetition_rate_hz;
+      plan.pulsed.mean_pairs_per_pulse = spec.pulsed.mean_pairs_per_pulse;
+      plan.pulsed.pulse_sigma_s = spec.pulsed.pulse_sigma_s;
+      plan.pulsed.bin_separation_s = spec.pulsed.bin_separation_s;
+      plan.pulsed.late_fraction = spec.pulsed.late_fraction;
+      plan.pulsed.linewidth_hz = spec.linewidth_hz;
+      plan.pulsed.duration_s = duration_s;
+      plan.pulsed.transmission_a = spec.transmission_signal;
+      plan.pulsed.transmission_b = spec.transmission_idler;
+      plan.pulsed.validate();
+      break;
+    case EmissionMode::PiecewiseRates:
+      if (spec.pair_rate_hz != 0)
+        throw std::invalid_argument(
+            "ChannelPairSpec: PiecewiseRates mode needs pair_rate_hz == 0 (the "
+            "segments carry the pair rate)");
+      plan.piecewise.segments = spec.segments;
+      plan.piecewise.linewidth_hz = spec.linewidth_hz;
+      plan.piecewise.duration_s = duration_s;
+      plan.piecewise.transmission_a = spec.transmission_signal;
+      plan.piecewise.transmission_b = spec.transmission_idler;
+      plan.piecewise.validate();
+      break;
+  }
+  return plan;
+}
+
+}  // namespace qfc::detect::detail

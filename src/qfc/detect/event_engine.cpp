@@ -9,6 +9,9 @@
 #include <thread>
 #include <utility>
 
+#include "qfc/detect/analysis_sweep.hpp"
+#include "qfc/detect/channel_rng.hpp"
+#include "qfc/detect/engine_plan.hpp"
 #include "qfc/detect/event_stream.hpp"
 #include "qfc/obs/obs.hpp"
 #include "qfc/parallel/worker_pool.hpp"
@@ -71,61 +74,8 @@ EventEngine::EventEngine(EngineConfig cfg) : cfg_(cfg) {
 
 namespace {
 
-/// Per-channel generation plan, fully validated before any parallel work.
-struct ChannelPlan {
-  EmissionMode mode = EmissionMode::Cw;
-  PairStreamParams cw;
-  PulsedStreamParams pulsed;
-  PiecewiseStreamParams piecewise;
-};
-
-ChannelPlan make_plan(const ChannelPairSpec& spec, double duration_s) {
-  ChannelPlan plan;
-  plan.mode = spec.emission;
-  switch (spec.emission) {
-    case EmissionMode::Cw:
-      plan.cw.pair_rate_hz = spec.pair_rate_hz;
-      plan.cw.linewidth_hz = spec.linewidth_hz;
-      plan.cw.duration_s = duration_s;
-      plan.cw.transmission_a = spec.transmission_signal;
-      plan.cw.transmission_b = spec.transmission_idler;
-      plan.cw.validate();
-      break;
-    case EmissionMode::Pulsed:
-      if (spec.pair_rate_hz != 0)
-        throw std::invalid_argument(
-            "ChannelPairSpec: Pulsed mode needs pair_rate_hz == 0 (the rate is "
-            "mean_pairs_per_pulse x repetition_rate_hz)");
-      plan.pulsed.repetition_rate_hz = spec.pulsed.repetition_rate_hz;
-      plan.pulsed.mean_pairs_per_pulse = spec.pulsed.mean_pairs_per_pulse;
-      plan.pulsed.pulse_sigma_s = spec.pulsed.pulse_sigma_s;
-      plan.pulsed.bin_separation_s = spec.pulsed.bin_separation_s;
-      plan.pulsed.late_fraction = spec.pulsed.late_fraction;
-      plan.pulsed.linewidth_hz = spec.linewidth_hz;
-      plan.pulsed.duration_s = duration_s;
-      plan.pulsed.transmission_a = spec.transmission_signal;
-      plan.pulsed.transmission_b = spec.transmission_idler;
-      plan.pulsed.validate();
-      break;
-    case EmissionMode::PiecewiseRates:
-      if (spec.pair_rate_hz != 0)
-        throw std::invalid_argument(
-            "ChannelPairSpec: PiecewiseRates mode needs pair_rate_hz == 0 (the "
-            "segments carry the pair rate)");
-      plan.piecewise.segments = spec.segments;
-      plan.piecewise.linewidth_hz = spec.linewidth_hz;
-      plan.piecewise.duration_s = duration_s;
-      plan.piecewise.transmission_a = spec.transmission_signal;
-      plan.piecewise.transmission_b = spec.transmission_idler;
-      plan.piecewise.validate();
-      break;
-  }
-  return plan;
-}
-
-}  // namespace
-
-namespace {
+using detail::ChannelPlan;
+using detail::make_plan;
 
 const char* emission_name(EmissionMode mode) {
   switch (mode) {
@@ -169,20 +119,25 @@ EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) cons
 
   const auto process_channel = [&](std::size_t c) {
     QFC_OBS_SPAN("engine.generate", {{"channel", c}});
-    rng::Xoshiro256& g = gens[c];
     const ChannelPairSpec& spec = channels[c];
     const ChannelPlan& plan = plans[c];
+    // Per-stage sub-streams, forked unconditionally in fixed order (see
+    // channel_rng.hpp): every stochastic stage owns its own generator, so
+    // the streaming engine can pause any stage at a window boundary without
+    // shifting another stage's draws — batch and windowed runs consume
+    // identical per-stream sequences.
+    detail::ChannelRngs r = detail::fork_channel_rngs(gens[c]);
 
     PairStreams photons;
     switch (plan.mode) {
       case EmissionMode::Cw:
-        photons = generate_pair_arrivals(plan.cw, g);
+        photons = generate_pair_arrivals(plan.cw, r.pair);
         break;
       case EmissionMode::Pulsed:
-        photons = generate_pulsed_pair_arrivals(plan.pulsed, g);
+        photons = generate_pulsed_pair_arrivals(plan.pulsed, r.pair);
         break;
       case EmissionMode::PiecewiseRates:
-        photons = generate_piecewise_pair_arrivals(plan.piecewise, g);
+        photons = generate_piecewise_pair_arrivals(plan.piecewise, r.pair);
         break;
     }
     if (obs::metrics_enabled()) {
@@ -198,35 +153,38 @@ EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) cons
       std::merge(arm.begin(), arm.end(), bg.begin(), bg.end(), merged.begin());
       arm.swap(merged);
     };
-    const auto inject = [&](std::vector<double>& arm, double rate_hz) {
+    const auto inject = [&](std::vector<double>& arm, double rate_hz,
+                            rng::Xoshiro256& g) {
       if (rate_hz <= 0) return;
       merge_into(arm, generate_poisson_arrivals(rate_hz, cfg_.duration_s, g));
     };
-    // Fixed per-channel RNG order (documented in the README): spec-level
-    // homogeneous backgrounds first (identical to Cw mode), then the
-    // piecewise background segments, then per-arm darks + detection.
-    inject(photons.a, spec.background_rate_signal_hz);
-    inject(photons.b, spec.background_rate_idler_hz);
+    inject(photons.a, spec.background_rate_signal_hz, r.bg_a);
+    inject(photons.b, spec.background_rate_idler_hz, r.bg_b);
     if (plan.mode == EmissionMode::PiecewiseRates) {
       merge_into(photons.a, generate_piecewise_poisson_arrivals(
                                 plan.piecewise.segments,
                                 &RateSegment::background_rate_signal_hz,
-                                cfg_.duration_s, g));
+                                cfg_.duration_s, r.pwbg_a));
       merge_into(photons.b, generate_piecewise_poisson_arrivals(
                                 plan.piecewise.segments,
                                 &RateSegment::background_rate_idler_hz,
-                                cfg_.duration_s, g));
+                                cfg_.duration_s, r.pwbg_b));
       const auto darks_s = generate_piecewise_poisson_arrivals(
           plan.piecewise.segments, &RateSegment::dark_rate_signal_hz, cfg_.duration_s,
-          g);
-      sig_cols[c] = det_s[c].detect(photons.a, darks_s, cfg_.duration_s, g);
+          r.pwdark_a);
+      sig_cols[c] =
+          det_s[c].detect(photons.a, darks_s, cfg_.duration_s, r.det_a, r.dark_a);
       const auto darks_i = generate_piecewise_poisson_arrivals(
           plan.piecewise.segments, &RateSegment::dark_rate_idler_hz, cfg_.duration_s,
-          g);
-      idl_cols[c] = det_i[c].detect(photons.b, darks_i, cfg_.duration_s, g);
+          r.pwdark_b);
+      idl_cols[c] =
+          det_i[c].detect(photons.b, darks_i, cfg_.duration_s, r.det_b, r.dark_b);
     } else {
-      sig_cols[c] = det_s[c].detect(photons.a, cfg_.duration_s, g);
-      idl_cols[c] = det_i[c].detect(photons.b, cfg_.duration_s, g);
+      static const std::vector<double> no_extra_darks;
+      sig_cols[c] = det_s[c].detect(photons.a, no_extra_darks, cfg_.duration_s,
+                                    r.det_a, r.dark_a);
+      idl_cols[c] = det_i[c].detect(photons.b, no_extra_darks, cfg_.duration_s,
+                                    r.det_b, r.dark_b);
     }
     if (obs::metrics_enabled())
       obs::counter("engine.clicks_kept").add(sig_cols[c].size() + idl_cols[c].size());
@@ -251,16 +209,14 @@ EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) cons
 
 // ----------------------------------------------------------- batched analysis
 
-namespace {
+namespace analysis_detail {
 
-/// Time-ordered view over all channels of a table: one (time, channel)
-/// sequence merged across the per-channel columns.
-struct MergedView {
-  std::vector<double> t;
-  std::vector<std::uint32_t> ch;
-};
+/// Minimum table size before merge_channels fans its pair-merges out over
+/// the pool: below this the per-round dispatch handshake costs more than
+/// the merge itself.
+constexpr std::size_t kMergeParallelMinEvents = std::size_t{1} << 15;
 
-MergedView merge_channels(const EventTable& table) {
+MergedView merge_channels(const EventTable& table, parallel::WorkerPool* pool) {
   QFC_OBS_SPAN("engine.analysis.merge", {{"events", table.size()}});
   MergedView m;
   const std::size_t n = table.size();
@@ -276,17 +232,20 @@ MergedView merge_channels(const EventTable& table) {
   // Bottom-up pairwise merge of the already-sorted channel columns:
   // ceil(log2 C) sequential passes over the data, far more cache-friendly
   // than a per-event heap. Ties take the left (lower-id) channel first.
+  // Within one pass the pair-merges read and write disjoint index ranges
+  // ([bounds[s], bounds[s+2]) each) and the next pass's bounds depend only
+  // on the current bounds, so the pairs of a pass can run in parallel
+  // without changing a single output bit (the qfc::parallel contract).
   m.t = table.time_s;
   m.ch = table.channel;
   std::vector<std::size_t> bounds = table.offsets;
   std::vector<double> tb(n);
   std::vector<std::uint32_t> cb(n);
+  const bool threaded = pool && pool->size() > 1 && n >= kMergeParallelMinEvents;
   while (bounds.size() > 2) {
-    std::vector<std::size_t> next_bounds;
-    next_bounds.reserve(bounds.size() / 2 + 2);
-    next_bounds.push_back(0);
-    std::size_t s = 0;
-    for (; s + 2 < bounds.size(); s += 2) {
+    const std::size_t npairs = (bounds.size() - 1) / 2;
+    const auto merge_pair = [&](std::size_t pair) {
+      const std::size_t s = 2 * pair;
       std::size_t i = bounds[s], j = bounds[s + 1], o = bounds[s];
       const std::size_t iend = bounds[s + 1], jend = bounds[s + 2];
       while (i < iend && j < jend) {
@@ -307,16 +266,32 @@ MergedView merge_channels(const EventTable& table) {
         tb[o] = m.t[j];
         cb[o] = m.ch[j];
       }
-      next_bounds.push_back(jend);
+    };
+    if (threaded && npairs > 1) {
+      parallel::parallel_for_chunks(*pool, npairs, 1,
+                                    [&](std::size_t, std::size_t begin,
+                                        std::size_t end) {
+                                      for (std::size_t p = begin; p < end; ++p)
+                                        merge_pair(p);
+                                    });
+    } else {
+      for (std::size_t p = 0; p < npairs; ++p) merge_pair(p);
     }
-    if (s + 1 < bounds.size()) {  // odd segment out: copy through
-      std::copy(m.t.begin() + static_cast<std::ptrdiff_t>(bounds[s]),
-                m.t.begin() + static_cast<std::ptrdiff_t>(bounds[s + 1]),
-                tb.begin() + static_cast<std::ptrdiff_t>(bounds[s]));
-      std::copy(m.ch.begin() + static_cast<std::ptrdiff_t>(bounds[s]),
-                m.ch.begin() + static_cast<std::ptrdiff_t>(bounds[s + 1]),
-                cb.begin() + static_cast<std::ptrdiff_t>(bounds[s]));
-      next_bounds.push_back(bounds[s + 1]);
+
+    std::vector<std::size_t> next_bounds;
+    next_bounds.reserve(bounds.size() / 2 + 2);
+    next_bounds.push_back(0);
+    for (std::size_t s = 0; s + 2 < bounds.size(); s += 2)
+      next_bounds.push_back(bounds[s + 2]);
+    const std::size_t s_odd = 2 * npairs;
+    if (s_odd + 1 < bounds.size()) {  // odd segment out: copy through
+      std::copy(m.t.begin() + static_cast<std::ptrdiff_t>(bounds[s_odd]),
+                m.t.begin() + static_cast<std::ptrdiff_t>(bounds[s_odd + 1]),
+                tb.begin() + static_cast<std::ptrdiff_t>(bounds[s_odd]));
+      std::copy(m.ch.begin() + static_cast<std::ptrdiff_t>(bounds[s_odd]),
+                m.ch.begin() + static_cast<std::ptrdiff_t>(bounds[s_odd + 1]),
+                cb.begin() + static_cast<std::ptrdiff_t>(bounds[s_odd]));
+      next_bounds.push_back(bounds[s_odd + 1]);
     }
     m.t.swap(tb);
     m.ch.swap(cb);
@@ -324,6 +299,13 @@ MergedView merge_channels(const EventTable& table) {
   }
   return m;
 }
+
+}  // namespace analysis_detail
+
+namespace {
+
+using analysis_detail::MergedView;
+using analysis_detail::merge_channels;
 
 // --------------------------------------------------- analysis worker pool
 
@@ -347,12 +329,13 @@ unsigned resolve_analysis_threads(unsigned requested) {
   return requested > 0 ? requested : std::max(1u, std::thread::hardware_concurrency());
 }
 
-/// Pool for one analysis call. `num_threads` <= 0 uses (and lazily builds)
-/// the cached process-wide pool at the current request; a positive explicit
-/// count that matches the cached size reuses it, any other explicit count
-/// gets a transient pool so bench-style 1/2/4 sweeps cannot evict the
-/// default pool. Callers hold the shared_ptr for the whole sweep, so a
-/// concurrent set_analysis_threads() swap cannot destroy a pool mid-run.
+}  // namespace
+
+namespace analysis_detail {
+
+// Declared in analysis_sweep.hpp; a positive explicit count that differs
+// from the cached pool's size gets a transient pool so bench-style 1/2/4
+// sweeps cannot evict the default pool.
 std::shared_ptr<parallel::WorkerPool> analysis_pool_for(int num_threads) {
   if (num_threads < 0)
     throw std::invalid_argument("analysis sweep: negative thread count");
@@ -368,6 +351,12 @@ std::shared_ptr<parallel::WorkerPool> analysis_pool_for(int num_threads) {
   return analysis_pool_instance;
 }
 
+}  // namespace analysis_detail
+
+namespace {
+
+using analysis_detail::analysis_pool_for;
+
 // ------------------------------------------------------- sharded sweeps
 //
 // Unit of parallel analysis work: one contiguous slice of one signal
@@ -377,7 +366,8 @@ std::shared_ptr<parallel::WorkerPool> analysis_pool_for(int num_threads) {
 // shard order after the join. Counts are integers, so the merged result is
 // bitwise identical to the single-threaded sweep at any pool size.
 
-constexpr std::size_t kAnalysisChunkEvents = 16384;
+using analysis_detail::kAnalysisChunkEvents;
+using analysis_detail::sweep_start;
 
 struct SignalShard {
   std::size_t channel = 0;
@@ -395,25 +385,17 @@ std::vector<SignalShard> make_signal_shards(const EventTable& signal) {
   return shards;
 }
 
-/// Index of the first merged-view event with t >= first signal time - reach:
-/// exactly where the monotone `lo` pointer of the full sweep would stand
-/// when it reaches this shard's first event.
-std::size_t sweep_start(const std::vector<double>& t, double first_ta, double reach) {
-  return static_cast<std::size_t>(
-      std::lower_bound(t.begin(), t.end(), first_ta - reach) - t.begin());
-}
-
 /// Run the sharded sweep: `sweep(shard, row)` must accumulate shard's counts
 /// into `row`, a zeroed buffer of `row_size` cells addressed relative to the
 /// shard's channel; `row_of(channel)` is that channel's slice of the global
 /// count array. With one worker the shards sweep the global rows directly
 /// (no partials) — the order of integer additions per cell is unchanged, so
-/// both paths produce identical counts.
+/// both paths produce identical counts. The caller resolves the pool once
+/// (analysis_pool_for) so it can share it with merge_channels.
 template <class SweepFn, class RowOfFn>
-void run_sharded(const EventTable& signal, int num_threads, std::size_t row_size,
-                 const SweepFn& sweep, const RowOfFn& row_of) {
-  if (num_threads < 0)
-    throw std::invalid_argument("analysis sweep: negative thread count");
+void run_sharded(const EventTable& signal,
+                 const std::shared_ptr<parallel::WorkerPool>& wp,
+                 std::size_t row_size, const SweepFn& sweep, const RowOfFn& row_of) {
   const auto shards = make_signal_shards(signal);
   if (shards.empty()) return;
   // Span + histogram around one shard's sweep; pure wrapper, so the count
@@ -430,7 +412,6 @@ void run_sharded(const EventTable& signal, int num_threads, std::size_t row_size
       sweep(s, row);
     }
   };
-  const auto wp = analysis_pool_for(num_threads);
   if (wp->size() <= 1 || shards.size() <= 1) {
     for (const SignalShard& s : shards) observed_sweep(s, row_of(s.channel));
     return;
@@ -485,25 +466,18 @@ std::vector<CoincidenceHistogram> correlate_all(const EventTable& signal,
 
   // Diagonal pairs only: two-pointer passes directly over the contiguous
   // columns, sharded per signal-column chunk.
+  const auto wp = analysis_pool_for(num_threads);
   run_sharded(
-      signal, num_threads, num_bins,
+      signal, wp, num_bins,
       [&](const SignalShard& s, std::uint64_t* counts) {
         const double* a0 = signal.channel_begin(s.channel) + s.begin;
         const double* a1 = signal.channel_begin(s.channel) + s.end;
         const double* ie = idler.channel_end(s.channel);
         const double* lo =
             std::lower_bound(idler.channel_begin(s.channel), ie, *a0 - range_s);
-        for (const double* a = a0; a != a1; ++a) {
-          const double ta = *a;
-          while (lo != ie && *lo < ta - range_s) ++lo;
-          for (const double* j = lo; j != ie && *j <= ta + range_s; ++j) {
-            const double dt = ta - *j;
-            const auto bin = static_cast<std::int64_t>(std::llround(dt / bin_width_s)) +
-                             static_cast<std::int64_t>(half_bins);
-            if (bin >= 0 && bin < static_cast<std::int64_t>(num_bins))
-              ++counts[static_cast<std::size_t>(bin)];
-          }
-        }
+        for (const double* a = a0; a != a1; ++a)
+          analysis_detail::corr_count_event(*a, ie, lo, bin_width_s, range_s,
+                                            half_bins, num_bins, counts);
       },
       [&](std::size_t c) { return hists[c].counts.data(); });
   return hists;
@@ -530,22 +504,17 @@ std::vector<std::uint64_t> coincidence_count_matrix(const EventTable& signal,
   // Merge only the idler side; the signal side is swept one contiguous
   // channel column at a time (each already sorted), which skips half the
   // merge work without changing any count.
-  const MergedView i = merge_channels(idler);
+  const auto wp = analysis_pool_for(num_threads);
+  const MergedView i = merge_channels(idler, wp.get());
   run_sharded(
-      signal, num_threads, ni,
+      signal, wp, ni,
       [&](const SignalShard& s, std::uint64_t* row) {
         const double* a0 = signal.channel_begin(s.channel) + s.begin;
         const double* a1 = signal.channel_begin(s.channel) + s.end;
         std::size_t lo = sweep_start(i.t, *a0, reach);
-        for (const double* a = a0; a != a1; ++a) {
-          const double ta = *a;
-          const double center = ta - offset_s;
-          while (lo < i.t.size() && i.t[lo] < ta - reach) ++lo;
-          for (std::size_t j = lo; j < i.t.size() && i.t[j] <= ta + reach; ++j) {
-            const double tb = i.t[j];
-            if (tb >= center - half && tb <= center + half) ++row[i.ch[j]];
-          }
-        }
+        for (const double* a = a0; a != a1; ++a)
+          analysis_detail::window_count_event(*a, i.t, i.ch, lo, half, offset_s,
+                                              reach, row);
       },
       [&](std::size_t c) { return counts.data() + c * ni; });
   return counts;
@@ -573,70 +542,32 @@ CarMatrix car_matrix(const EventTable& signal, const EventTable& idler,
   if (result.cells.empty()) return result;
   QFC_OBS_SPAN("engine.car_matrix", {{"events", signal.size() + idler.size()}});
 
-  // Window grid: index 0 is the peak at Δt = 0; side window w = 1..K sits
-  // at multiple m_w of the spacing, alternating +1, -1, +2, -2, ...
-  // (the same offsets measure_car scans one pair at a time).
-  const int K = num_side_windows;
-  const int mmax = (K + 1) / 2;
-  std::vector<int> window_of(static_cast<std::size_t>(2 * mmax + 1), -1);
-  window_of[static_cast<std::size_t>(mmax)] = 0;
-  for (int w = 1; w <= K; ++w) {
-    const int m = (w % 2 == 1) ? (w + 1) / 2 : -(w / 2);
-    window_of[static_cast<std::size_t>(m + mmax)] = w;
-  }
-
-  const double half = window_s / 2.0;
-  // Conservative scan reach (one extra window of slack); the rounding to
-  // the nearest grid offset only *selects* the candidate window — the
-  // membership test below repeats measure_car's center-bounds arithmetic
-  // exactly, so every cell is bitwise identical to the pairwise scans.
-  const double reach = mmax * side_window_spacing_s + window_s;
-  const std::size_t stride = static_cast<std::size_t>(K) + 1;
-  std::vector<std::uint64_t> counts(result.cells.size() * stride, 0);
+  // Window grid + per-event counting live in analysis_sweep.hpp, shared
+  // with the streaming accumulators so both paths count with one copy of
+  // the arithmetic.
+  const analysis_detail::CarGrid grid =
+      analysis_detail::make_car_grid(window_s, side_window_spacing_s,
+                                     num_side_windows);
+  std::vector<std::uint64_t> counts(result.cells.size() * grid.stride, 0);
 
   // Merge only the idler side; sweep the signal side per contiguous
   // channel column, sharded across the analysis workers (see
   // coincidence_count_matrix).
   const std::size_t ni = result.num_idler;
-  const MergedView i = merge_channels(idler);
+  const auto wp = analysis_pool_for(num_threads);
+  const MergedView i = merge_channels(idler, wp.get());
   run_sharded(
-      signal, num_threads, ni * stride,
+      signal, wp, ni * grid.stride,
       [&](const SignalShard& s, std::uint64_t* row) {
         const double* a0 = signal.channel_begin(s.channel) + s.begin;
         const double* a1 = signal.channel_begin(s.channel) + s.end;
-        std::size_t lo = sweep_start(i.t, *a0, reach);
-        for (const double* a = a0; a != a1; ++a) {
-          const double ta = *a;
-          while (lo < i.t.size() && i.t[lo] < ta - reach) ++lo;
-          for (std::size_t j = lo; j < i.t.size() && i.t[j] <= ta + reach; ++j) {
-            const double tb = i.t[j];
-            const double dt = ta - tb;
-            const auto m =
-                static_cast<std::int64_t>(std::llround(dt / side_window_spacing_s));
-            if (m < -mmax || m > mmax) continue;
-            const int w = window_of[static_cast<std::size_t>(m + mmax)];
-            if (w < 0) continue;
-            const double center = ta - static_cast<double>(m) * side_window_spacing_s;
-            if (tb < center - half || tb > center + half) continue;
-            ++row[i.ch[j] * stride + static_cast<std::size_t>(w)];
-          }
-        }
+        std::size_t lo = sweep_start(i.t, *a0, grid.reach);
+        for (const double* a = a0; a != a1; ++a)
+          analysis_detail::car_count_event(*a, i.t, i.ch, lo, grid, row);
       },
-      [&](std::size_t c) { return counts.data() + c * ni * stride; });
+      [&](std::size_t c) { return counts.data() + c * ni * grid.stride; });
 
-  for (std::size_t cell = 0; cell < result.cells.size(); ++cell) {
-    CarResult& r = result.cells[cell];
-    r.coincidences = static_cast<double>(counts[cell * stride]);
-    double acc_total = 0;
-    for (int w = 1; w <= K; ++w)
-      acc_total += static_cast<double>(counts[cell * stride + static_cast<std::size_t>(w)]);
-    r.accidentals = acc_total / K;
-    if (r.accidentals <= 0) r.accidentals = 1.0 / K;  // lower bound, as measure_car
-    r.car = r.coincidences / r.accidentals;
-    const double rel_c = r.coincidences > 0 ? 1.0 / std::sqrt(r.coincidences) : 1.0;
-    const double rel_a = 1.0 / std::sqrt(std::max(1.0, acc_total));
-    r.car_err = r.car * std::sqrt(rel_c * rel_c + rel_a * rel_a);
-  }
+  analysis_detail::finalize_car_cells(result, counts, grid);
   return result;
 }
 

@@ -14,14 +14,20 @@
 ///
 /// Determinism contract: EventEngine::run derives one RNG per channel by
 /// forking a master generator in channel order *before* any parallel work
-/// starts, and every channel's pipeline consumes only its own generator.
-/// Worker threads (a qfc::parallel::WorkerPool) claim whole channels and
-/// write into per-channel slots, so the output is bitwise identical for
-/// every value of EngineConfig::num_threads at a fixed seed. The batched
-/// analysis sweeps below carry the same contract: signal columns are
-/// sharded into fixed-size chunks whose per-cell integer counts merge
-/// additively in chunk order, so car_matrix/coincidence_count_matrix/
-/// correlate_all are bitwise identical at every analysis thread count.
+/// starts, then derives eleven per-stage sub-streams from each channel
+/// generator in a fixed order (see channel_rng.hpp) — one per stochastic
+/// stage (emission, backgrounds, detection, darks) — and every stage
+/// consumes only its own stream. Worker threads (a
+/// qfc::parallel::WorkerPool) claim whole channels and write into
+/// per-channel slots, so the output is bitwise identical for every value
+/// of EngineConfig::num_threads at a fixed seed — and, because a windowed
+/// run consumes the same per-stream sequences merely paused at window
+/// boundaries, the streaming engine (streaming.hpp) is bitwise identical
+/// to run() at every window size too. The batched analysis sweeps below
+/// carry the same contract: signal columns are sharded into fixed-size
+/// chunks whose per-cell integer counts merge additively in chunk order,
+/// so car_matrix/coincidence_count_matrix/correlate_all are bitwise
+/// identical at every analysis thread count.
 
 #include <cstdint>
 #include <vector>

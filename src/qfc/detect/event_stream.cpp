@@ -17,12 +17,8 @@ void PairStreamParams::validate() const {
     throw std::invalid_argument("PairStreamParams: transmission outside [0,1]");
 }
 
-namespace {
+namespace detail {
 
-/// Emit one correlated pair born at t0: Laplace-split the signal-idler
-/// delay symmetrically and thin each arm by its transmission. Shared by
-/// all three emission kernels so their delay/transmission semantics (and
-/// RNG consumption order) stay identical by construction.
 void emit_pair(double t0, double delay_scale, double duration_s, double transmission_a,
                double transmission_b, PairStreams& s, rng::Xoshiro256& g) {
   // Symmetrize: put half the Laplace delay on each photon so neither arm
@@ -35,6 +31,12 @@ void emit_pair(double t0, double delay_scale, double duration_s, double transmis
   if (tb >= 0 && tb < duration_s && rng::sample_bernoulli(g, transmission_b))
     s.b.push_back(tb);
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::emit_pair;
 
 /// The pair emission times are generated in order and the signal-idler
 /// delay is ~1/(2π δν), usually far below the mean pair spacing: both

@@ -102,4 +102,17 @@ std::vector<double> generate_piecewise_poisson_arrivals(
     const std::vector<RateSegment>& segments, double RateSegment::*rate,
     double duration_s, rng::Xoshiro256& g);
 
+namespace detail {
+
+/// Emit one correlated pair born at t0: Laplace-split the signal-idler
+/// delay symmetrically and thin each arm by its transmission. Shared by
+/// all three emission kernels — and by the windowed streaming samplers
+/// (streaming.cpp), which must consume the exact same draws per pair —
+/// so delay/transmission semantics and RNG order stay identical by
+/// construction.
+void emit_pair(double t0, double delay_scale, double duration_s, double transmission_a,
+               double transmission_b, PairStreams& s, rng::Xoshiro256& g);
+
+}  // namespace detail
+
 }  // namespace qfc::detect

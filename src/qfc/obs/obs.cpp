@@ -432,6 +432,22 @@ bool write_metrics(const std::string& path) {
   return write_string(path, metrics_json(), "metrics");
 }
 
+long long current_rss_kb() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  long long kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::sscanf(line, "VmRSS: %lld kB", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+#else
+  return 0;
+#endif
+}
+
 // -------------------------------------------------------------- RunReport
 
 struct RunReport::Impl {

@@ -229,6 +229,13 @@ std::string metrics_json();
 /// Write metrics_json() to `path`; false (with a stderr note) on failure.
 bool write_metrics(const std::string& path);
 
+/// Current resident set size of the process in kB (VmRSS from
+/// /proc/self/status), or 0 where that is unavailable. Unlike getrusage's
+/// ru_maxrss this is the *instantaneous* RSS, so the streaming engine can
+/// report a bounded-memory gauge that actually goes down when buffers are
+/// released.
+long long current_rss_kb();
+
 /// Snapshots the metrics registry at construction; json_object() renders
 /// the delta since then (counters/histograms as differences, gauges as
 /// current values) plus the wall-clock span, as one JSON object — the

@@ -12,6 +12,7 @@
 #include "qfc/core/comb_source.hpp"
 #include "qfc/core/hbt.hpp"
 #include "qfc/core/qkd.hpp"
+#include "qfc/detect/channel_rng.hpp"
 #include "qfc/detect/event_engine.hpp"
 #include "qfc/detect/event_stream.hpp"
 #include "qfc/timebin/arrival_histogram.hpp"
@@ -61,9 +62,11 @@ TEST(EventTable, FromColumnsRejectsUnsorted) {
   EXPECT_THROW(EventTable::from_columns({{2.0, 1.0}}), std::invalid_argument);
 }
 
-TEST(EventEngine, MatchesLegacyPipelineBitwise) {
-  // The engine's per-channel pipeline with one pre-forked generator per
-  // channel must reproduce the legacy generate -> detect chain exactly.
+TEST(EventEngine, MatchesHandRolledPipelineBitwise) {
+  // The engine's per-channel pipeline must reproduce the hand-rolled
+  // generate -> detect chain exactly when the chain is driven with the
+  // documented per-stage sub-streams (channel_rng.hpp): pair emission on
+  // stream 1, detection/darks on streams 6/7 (signal) and 9/10 (idler).
   const auto specs = test_specs(3);
   EngineConfig ec;
   ec.duration_s = 2.0;
@@ -74,17 +77,21 @@ TEST(EventEngine, MatchesLegacyPipelineBitwise) {
   rng::Xoshiro256 master(99);
   for (std::size_t c = 0; c < specs.size(); ++c) {
     rng::Xoshiro256 g = master.fork(static_cast<std::uint64_t>(c + 1));
+    detect::detail::ChannelRngs r = detect::detail::fork_channel_rngs(g);
     detect::PairStreamParams p;
     p.pair_rate_hz = specs[c].pair_rate_hz;
     p.linewidth_hz = specs[c].linewidth_hz;
     p.duration_s = ec.duration_s;
     p.transmission_a = specs[c].transmission_signal;
     p.transmission_b = specs[c].transmission_idler;
-    const auto photons = detect::generate_pair_arrivals(p, g);
+    const auto photons = detect::generate_pair_arrivals(p, r.pair);
     const detect::SinglePhotonDetector ds(specs[c].detector_signal);
     const detect::SinglePhotonDetector di(specs[c].detector_idler);
-    EXPECT_EQ(res.signal.channel_clicks(c), ds.detect(photons.a, ec.duration_s, g));
-    EXPECT_EQ(res.idler.channel_clicks(c), di.detect(photons.b, ec.duration_s, g));
+    const std::vector<double> no_extra_darks;
+    EXPECT_EQ(res.signal.channel_clicks(c),
+              ds.detect(photons.a, no_extra_darks, ec.duration_s, r.det_a, r.dark_a));
+    EXPECT_EQ(res.idler.channel_clicks(c),
+              di.detect(photons.b, no_extra_darks, ec.duration_s, r.det_b, r.dark_b));
   }
 }
 
@@ -216,11 +223,11 @@ ChannelPairSpec pulsed_test_spec(double mean_pairs_per_pulse, double bin_separat
 
 TEST(EmissionModes, CwSpecIsBitwiseUnchangedByTheLayer) {
   // A default-constructed spec is EmissionMode::Cw; the engine output must
-  // equal the pre-emission-layer chain (generate_pair_arrivals + inject +
-  // detect with the same forked generators), which
-  // EventEngine.MatchesLegacyPipelineBitwise pins. Here additionally pin
-  // that the enum default really is Cw and that the overload with no extra
-  // darks is the plain detect path.
+  // equal the hand-rolled chain (generate_pair_arrivals + inject + detect
+  // on the per-stage sub-streams of channel_rng.hpp), which
+  // EventEngine.MatchesHandRolledPipelineBitwise pins. Here additionally
+  // pin that the enum default really is Cw and that the overload with no
+  // extra darks is the plain detect path.
   EXPECT_EQ(ChannelPairSpec{}.emission, detect::EmissionMode::Cw);
 
   rng::Xoshiro256 g1(5), g2(5);
