@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "qfc/detect/streaming.hpp"
@@ -27,63 +28,121 @@ double bbm92_secret_fraction(double qber) {
   return std::max(0.0, 1.0 - 2.0 * binary_entropy_bits(qber));
 }
 
-MultiplexedQkdLink::MultiplexedQkdLink(const TimebinExperiment& experiment,
-                                       QkdLinkParams params)
-    : experiment_(&experiment), params_(params) {
-  if (params_.coincidence_window_s <= 0)
-    throw std::invalid_argument("QkdLinkParams: window <= 0");
-  if (params_.dark_rate_hz < 0) throw std::invalid_argument("QkdLinkParams: dark rate < 0");
-  if (params_.sifting_factor <= 0 || params_.sifting_factor > 1)
-    throw std::invalid_argument("QkdLinkParams: sifting factor outside (0,1]");
+void UserEndpointParams::validate() const {
+  if (coincidence_window_s <= 0)
+    throw std::invalid_argument("UserEndpointParams: coincidence window <= 0");
+  if (dark_rate_hz < 0)
+    throw std::invalid_argument("UserEndpointParams: negative dark rate");
+  if (sifting_factor <= 0 || sifting_factor > 1)
+    throw std::invalid_argument("UserEndpointParams: sifting factor outside (0,1]");
+  if (detector_jitter_sigma_s < 0)
+    throw std::invalid_argument("UserEndpointParams: negative detector jitter");
+  if (detector_dead_time_s < 0)
+    throw std::invalid_argument("UserEndpointParams: negative dead time");
+  if (detection_efficiency_scale <= 0 || detection_efficiency_scale > 1)
+    throw std::invalid_argument(
+        "UserEndpointParams: detection efficiency scale outside (0,1]");
 }
 
-QkdChannelPerformance MultiplexedQkdLink::channel_performance(int k,
-                                                              double distance_km) const {
+void LinkGeometry::validate() const {
   if (distance_km < 0)
-    throw std::invalid_argument("channel_performance: negative distance");
+    throw std::invalid_argument("LinkGeometry: negative distance");
+  fiber.validate();
+}
+
+fiber::FiberChannel LinkGeometry::arm_channel() const {
+  validate();
+  return fiber::FiberChannel(fiber::with_length_km(fiber, distance_km / 2.0));
+}
+
+double LinkGeometry::arm_transmission() const { return arm_channel().transmission(); }
+
+double intrinsic_visibility(const TimebinExperiment& experiment, int k,
+                            const LinkGeometry& geometry) {
+  const fiber::FiberChannel arm = geometry.arm_channel();
+  const auto noise = experiment.noise_model(k);
+  const double v_state = timebin::state_visibility(noise);
+  // Dispersion washes out time bins over long spans.
+  const double wavelength = photonics::wavelength_from_frequency(
+      experiment.source().grid().pair(k).signal.frequency_hz);
+  const double linewidth = experiment.source().ring().linewidth_hz(
+      experiment.config().pump.frequency_hz, photonics::Polarization::TE);
+  const double disp_factor = arm.timebin_visibility_factor(
+      wavelength, linewidth, experiment.config().pump.bin_separation_s);
+  return v_state * disp_factor;
+}
+
+QkdChannelPerformance analytic_channel_performance(
+    const TimebinExperiment& experiment, int k,
+    const UserEndpointParams& endpoint, const LinkGeometry& geometry) {
+  endpoint.validate();
 
   QkdChannelPerformance perf;
   perf.k = k;
-  perf.distance_km = distance_km;
+  perf.distance_km = geometry.distance_km;
 
   // Symmetric spans: source in the middle.
-  fiber::FiberParams span = params_.fiber;
-  span.length_m = distance_km * 1000.0 / 2.0;
-  const fiber::FiberChannel arm(span);
+  const fiber::FiberChannel arm = geometry.arm_channel();
   const double t_arm = arm.transmission();
 
   // Local (L = 0) performance from the experiment model.
-  const auto noise = experiment_->noise_model(k);
-  const double v_state = timebin::state_visibility(noise);
-  const double c0 = experiment_->detected_coincidence_rate_hz(k);
+  const double c0 = experiment.detected_coincidence_rate_hz(k);
 
-  // Rates after fiber.
-  const double true_coincidences = c0 * t_arm * t_arm;
-  const double pairs_per_s = experiment_->source().mean_pairs_per_pulse(k) * 2.0 *
-                             experiment_->config().pump.train.repetition_rate_hz;
-  const double eta = experiment_->config().detection_efficiency_per_arm;
+  // Rates after fiber. detection_efficiency_scale multiplies the per-arm
+  // efficiency, so coincidences pick up scale² and singles scale¹; at the
+  // default 1.0 every product below is bitwise unchanged.
+  const double scale = endpoint.detection_efficiency_scale;
+  const double true_coincidences = c0 * t_arm * t_arm * scale * scale;
+  const double pairs_per_s = experiment.source().mean_pairs_per_pulse(k) * 2.0 *
+                             experiment.config().pump.train.repetition_rate_hz;
+  const double eta = experiment.config().detection_efficiency_per_arm * scale;
   const double singles =
       pairs_per_s * eta * t_arm * 0.5 /* analyzer post-selection */ +
-      params_.dark_rate_hz;
-  const double accidentals = singles * singles * params_.coincidence_window_s;
+      endpoint.dark_rate_hz;
+  const double accidentals = singles * singles * endpoint.coincidence_window_s;
 
-  // Dispersion washes out time bins over long spans.
-  const double wavelength = photonics::wavelength_from_frequency(
-      experiment_->source().grid().pair(k).signal.frequency_hz);
-  const double linewidth = experiment_->source().ring().linewidth_hz(
-      experiment_->config().pump.frequency_hz, photonics::Polarization::TE);
-  const double disp_factor = arm.timebin_visibility_factor(
-      wavelength, linewidth, experiment_->config().pump.bin_separation_s);
-
+  const double v_intrinsic = intrinsic_visibility(experiment, k, geometry);
   const double denom = true_coincidences + accidentals;
   perf.visibility =
-      denom > 0 ? v_state * disp_factor * true_coincidences / denom : 0.0;
+      denom > 0 ? v_intrinsic * true_coincidences / denom : 0.0;
   perf.qber = qber_from_visibility(perf.visibility);
-  perf.sifted_rate_hz = params_.sifting_factor * denom;
+  perf.sifted_rate_hz = endpoint.sifting_factor * denom;
   perf.secret_fraction = bbm92_secret_fraction(perf.qber);
   perf.key_rate_bps = perf.sifted_rate_hz * perf.secret_fraction;
   perf.key_positive = perf.key_rate_bps > 0;
   return perf;
+}
+
+detect::ChannelPairSpec link_channel_spec(const TimebinExperiment& experiment,
+                                          int k,
+                                          const UserEndpointParams& endpoint,
+                                          const LinkGeometry& geometry) {
+  endpoint.validate();
+  detect::ChannelPairSpec spec =
+      experiment.cw_equivalent_spec(k, endpoint.dark_rate_hz);
+  const double t_arm = geometry.arm_transmission();
+  spec.transmission_signal = t_arm;
+  spec.transmission_idler = t_arm;
+  for (detect::DetectorParams* det : {&spec.detector_signal, &spec.detector_idler}) {
+    det->jitter_sigma_s = endpoint.detector_jitter_sigma_s;
+    det->dead_time_s = endpoint.detector_dead_time_s;
+    det->efficiency *= endpoint.detection_efficiency_scale;
+  }
+  return spec;
+}
+
+MultiplexedQkdLink::MultiplexedQkdLink(const TimebinExperiment& experiment,
+                                       UserEndpointParams endpoint,
+                                       fiber::FiberParams fiber)
+    : experiment_(&experiment), endpoint_(endpoint), fiber_(fiber) {
+  endpoint_.validate();
+  fiber_.validate();
+}
+
+QkdChannelPerformance MultiplexedQkdLink::channel_performance(int k,
+                                                              double distance_km) const {
+  return analytic_channel_performance(*experiment_, k, endpoint_,
+                                      LinkGeometry{distance_km, fiber_});
 }
 
 std::vector<QkdChannelPerformance> MultiplexedQkdLink::all_channels(
@@ -101,80 +160,34 @@ double MultiplexedQkdLink::aggregate_key_rate_bps(double distance_km) const {
   return total;
 }
 
-std::vector<MultiplexedQkdLink::StreamCheck> MultiplexedQkdLink::monte_carlo_stream_check(
-    double distance_km, double duration_s, std::uint64_t seed) const {
-  if (distance_km < 0)
-    throw std::invalid_argument("monte_carlo_stream_check: negative distance");
-
-  fiber::FiberParams span = params_.fiber;
-  span.length_m = distance_km * 1000.0 / 2.0;
-  const double t_arm = fiber::FiberChannel(span).transmission();
+std::vector<MultiplexedQkdLink::StreamCheck> MultiplexedQkdLink::stream_check(
+    double distance_km, double duration_s, const StreamOptions& options) const {
+  if (duration_s <= 0)
+    throw std::invalid_argument("stream_check: duration <= 0");
+  const LinkGeometry geometry{distance_km, fiber_};
+  geometry.validate();
 
   const auto& cfg = experiment_->config();
   std::vector<detect::ChannelPairSpec> specs;
   specs.reserve(static_cast<std::size_t>(cfg.num_channel_pairs));
-  for (int k = 1; k <= cfg.num_channel_pairs; ++k) {
-    detect::ChannelPairSpec spec =
-        experiment_->cw_equivalent_spec(k, params_.dark_rate_hz);
-    spec.transmission_signal = t_arm;
-    spec.transmission_idler = t_arm;
-    specs.push_back(spec);
-  }
+  for (int k = 1; k <= cfg.num_channel_pairs; ++k)
+    specs.push_back(link_channel_spec(*experiment_, k, endpoint_, geometry));
 
   detect::EngineConfig ec;
   ec.duration_s = duration_s;
-  ec.seed = seed;
-  const detect::EngineResult events = detect::EventEngine(ec).run(specs);
-  const double window = params_.coincidence_window_s;
-  const detect::CarMatrix matrix = detect::car_matrix(
-      events.signal, events.idler, window,
-      /*side_window_spacing_s=*/std::max(100e-9, 20.0 * window));
-
-  std::vector<StreamCheck> out;
-  out.reserve(specs.size());
-  for (int k = 1; k <= cfg.num_channel_pairs; ++k) {
-    const auto c = static_cast<std::size_t>(k - 1);
-    StreamCheck r;
-    r.k = k;
-    r.car = matrix.at(c, c);
-    r.measured_coincidence_rate_hz =
-        std::max(0.0, r.car.coincidences - r.car.accidentals) / duration_s;
-    r.measured_accidental_rate_hz = r.car.accidentals / duration_s;
-    out.push_back(r);
-  }
-  return out;
-}
-
-std::vector<MultiplexedQkdLink::StreamCheck> MultiplexedQkdLink::long_run_stream_check(
-    double distance_km, double duration_s, double stream_window_s,
-    std::uint64_t seed) const {
-  if (distance_km < 0)
-    throw std::invalid_argument("long_run_stream_check: negative distance");
-
-  fiber::FiberParams span = params_.fiber;
-  span.length_m = distance_km * 1000.0 / 2.0;
-  const double t_arm = fiber::FiberChannel(span).transmission();
-
-  const auto& cfg = experiment_->config();
-  std::vector<detect::ChannelPairSpec> specs;
-  specs.reserve(static_cast<std::size_t>(cfg.num_channel_pairs));
-  for (int k = 1; k <= cfg.num_channel_pairs; ++k) {
-    detect::ChannelPairSpec spec =
-        experiment_->cw_equivalent_spec(k, params_.dark_rate_hz);
-    spec.transmission_signal = t_arm;
-    spec.transmission_idler = t_arm;
-    specs.push_back(spec);
-  }
-
-  detect::EngineConfig ec;
-  ec.duration_s = duration_s;
-  ec.seed = seed;
+  ec.seed = options.seed;
+  ec.analysis_threads = options.analysis_threads;
   detect::StreamConfig sc;
-  sc.window_s = stream_window_s;
-  const double window = params_.coincidence_window_s;
+  // window <= 0: one window spanning the run — the old batch path. The
+  // streaming engine is bitwise identical at every window size, so this
+  // only changes peak memory.
+  sc.window_s = options.window_s > 0 ? options.window_s : duration_s;
+
+  const double window = endpoint_.coincidence_window_s;
   detect::EventStreamer streamer(ec, sc, specs);
   detect::StreamingCarAccumulator car(
-      window, /*side_window_spacing_s=*/std::max(100e-9, 20.0 * window));
+      window, /*side_window_spacing_s=*/std::max(100e-9, 20.0 * window),
+      /*num_side_windows=*/10, options.analysis_threads);
   detect::StreamWindow w;
   while (streamer.next(w)) car.push(w);
   const detect::CarMatrix matrix = car.finish();
@@ -194,11 +207,17 @@ std::vector<MultiplexedQkdLink::StreamCheck> MultiplexedQkdLink::long_run_stream
   return out;
 }
 
-double MultiplexedQkdLink::max_distance_km(int k, double upper_bound_km) const {
+double MultiplexedQkdLink::max_distance_km(int k, double upper_bound_km,
+                                           double tolerance_km) const {
+  if (upper_bound_km <= 0)
+    throw std::invalid_argument("max_distance_km: upper bound <= 0");
+  if (tolerance_km <= 0)
+    throw std::invalid_argument("max_distance_km: tolerance <= 0");
   double lo = 0, hi = upper_bound_km;
-  if (channel_performance(k, lo).key_rate_bps <= 0) return 0.0;
+  if (!(channel_performance(k, lo).key_rate_bps > 0))
+    return std::numeric_limits<double>::quiet_NaN();
   if (channel_performance(k, hi).key_rate_bps > 0) return hi;
-  for (int it = 0; it < 60; ++it) {
+  while (hi - lo > tolerance_km) {
     const double mid = (lo + hi) / 2;
     if (channel_performance(k, mid).key_rate_bps > 0)
       lo = mid;

@@ -7,7 +7,16 @@
 /// source sits between Alice and Bob; each comb channel pair forms an
 /// independent key-distribution link, so the aggregate key rate scales
 /// with the number of multiplexed channels.
+///
+/// Vocabulary (shared with qkd_network.hpp): a *user endpoint*
+/// (UserEndpointParams) is everything a receiving party owns — coincidence
+/// window, dark rate, sifting, detector overrides — while the *link
+/// geometry* (LinkGeometry) is everything the glass owns — the Alice–Bob
+/// distance and the fiber recipe. MultiplexedQkdLink binds one endpoint to
+/// one experiment and sweeps geometries; QkdNetwork binds hundreds of
+/// (endpoint, geometry) pairs to one shared streaming engine run.
 
+#include <cstdint>
 #include <vector>
 
 #include "qfc/core/timebin_experiment.hpp"
@@ -26,15 +35,44 @@ double qber_from_visibility(double visibility);
 /// r = max(0, 1 − 2 h₂(Q)). Positive only below Q ≈ 11%.
 double bbm92_secret_fraction(double qber);
 
-struct QkdLinkParams {
+/// Receiving-party parameters: everything one user's measurement station
+/// owns, reused verbatim by the single link and by every QkdNetwork user.
+struct UserEndpointParams {
   /// Coincidence window used for pairing Alice's and Bob's detections.
   double coincidence_window_s = 1e-9;
   /// Per-detector dark/background rate at Alice and Bob.
   double dark_rate_hz = 1000.0;
   /// Basis-sifting factor (Z/X chosen with equal probability).
   double sifting_factor = 0.5;
+  /// Detector timing jitter (1σ) applied in Monte-Carlo checks; the
+  /// default matches TimebinExperiment::cw_equivalent_spec.
+  double detector_jitter_sigma_s = 100e-12;
+  /// Detector dead time applied in Monte-Carlo checks.
+  double detector_dead_time_s = 0.0;
+  /// Multiplies the experiment's per-arm detection efficiency (a user with
+  /// older SNSPDs sets < 1). 1.0 leaves the experiment value untouched.
+  double detection_efficiency_scale = 1.0;
 
-  fiber::FiberParams fiber;  ///< per-arm span parameters (length set per query)
+  /// Throws std::invalid_argument naming the offending field for
+  /// nonsensical values (window <= 0, negative dark rate, sifting outside
+  /// (0,1], negative jitter/dead time, efficiency scale outside (0,1]).
+  void validate() const;
+};
+
+/// Glass-side parameters of one Alice–Bob link: total separation and the
+/// fiber recipe. Spans are symmetric (source in the middle), so each arm
+/// travels distance_km / 2 of `fiber`.
+struct LinkGeometry {
+  double distance_km = 0.0;
+  fiber::FiberParams fiber;  ///< length_m is ignored; the arm span sets it
+
+  /// Throws std::invalid_argument for a negative distance or invalid fiber.
+  void validate() const;
+
+  /// One arm's fiber channel (length distance_km / 2).
+  fiber::FiberChannel arm_channel() const;
+  /// Power transmission of one arm.
+  double arm_transmission() const;
 };
 
 struct QkdChannelPerformance {
@@ -48,12 +86,57 @@ struct QkdChannelPerformance {
   bool key_positive = false;
 };
 
+/// Intrinsic (accidental-free) time-bin visibility of channel pair k over
+/// `geometry`: the experiment's state visibility degraded by fiber
+/// dispersion washout, before the accidental floor divides it down. Both
+/// the analytic link budget and QkdNetwork's measured per-user reports
+/// scale by this factor.
+double intrinsic_visibility(const TimebinExperiment& experiment, int k,
+                            const LinkGeometry& geometry);
+
+/// Analytic BBM92 link budget for comb channel pair k of `experiment` over
+/// `geometry`, measured by `endpoint`: state visibility degraded by fiber
+/// dispersion and the accidental floor, QBER, sifted and secret-key rates.
+/// The shared arithmetic behind MultiplexedQkdLink::channel_performance
+/// and QkdNetwork's per-user analytic summaries.
+QkdChannelPerformance analytic_channel_performance(
+    const TimebinExperiment& experiment, int k,
+    const UserEndpointParams& endpoint, const LinkGeometry& geometry);
+
+/// Monte-Carlo channel spec for the same link: cw_equivalent_spec with the
+/// arm transmission folded into both arms and the endpoint's dark rate and
+/// detector overrides applied. Shared by the link's stream_check and
+/// QkdNetwork's shared-engine spec planning.
+detect::ChannelPairSpec link_channel_spec(const TimebinExperiment& experiment,
+                                          int k,
+                                          const UserEndpointParams& endpoint,
+                                          const LinkGeometry& geometry);
+
+/// Knobs of a Monte-Carlo stream check that are about the *run*, not the
+/// link: generation window (memory bound), seed, analysis worker count.
+/// Every knob is result-neutral except the seed — the streaming engine is
+/// bitwise identical to a batch run at every window size and thread count.
+struct StreamOptions {
+  /// Streaming generation window; resident memory scales with this, not
+  /// with duration. <= 0 means one window spanning the whole run (the old
+  /// batch behavior — same bits either way).
+  double window_s = 1.0;
+  std::uint64_t seed = 1176;
+  /// Worker threads for the CAR merge-sweep; 0 = process-wide setting.
+  int analysis_threads = 0;
+};
+
 /// QKD link built on a time-bin entanglement experiment: channel pair k
 /// distributes photons to Alice (+k) and Bob (−k) through symmetric fiber
 /// spans of length distance/2 each.
 class MultiplexedQkdLink {
  public:
-  MultiplexedQkdLink(const TimebinExperiment& experiment, QkdLinkParams params = {});
+  MultiplexedQkdLink(const TimebinExperiment& experiment,
+                     UserEndpointParams endpoint = {},
+                     fiber::FiberParams fiber = {});
+
+  const UserEndpointParams& endpoint() const noexcept { return endpoint_; }
+  const fiber::FiberParams& fiber() const noexcept { return fiber_; }
 
   QkdChannelPerformance channel_performance(int k, double distance_km) const;
 
@@ -62,12 +145,15 @@ class MultiplexedQkdLink {
   /// Sum of positive per-channel key rates — the multiplexing payoff.
   double aggregate_key_rate_bps(double distance_km) const;
 
-  /// Largest distance (km, coarse bisection) at which channel k still
-  /// yields a positive key rate.
-  double max_distance_km(int k, double upper_bound_km = 500.0) const;
+  /// Largest distance (km) at which channel k still yields a positive key
+  /// rate, bisected to `tolerance_km`. Returns NaN when no positive-key
+  /// distance exists (the channel is dead even back-to-back), and
+  /// `upper_bound_km` itself when the key is still positive there — raise
+  /// the bound to resolve further.
+  double max_distance_km(int k, double upper_bound_km = 500.0,
+                         double tolerance_km = 0.1) const;
 
-  /// One channel of the Monte-Carlo link check (see
-  /// monte_carlo_stream_check).
+  /// One channel of the Monte-Carlo link check (see stream_check).
   struct StreamCheck {
     int k = 0;
     double measured_coincidence_rate_hz = 0;  ///< accidental-subtracted
@@ -75,29 +161,41 @@ class MultiplexedQkdLink {
     detect::CarResult car;
   };
 
-  /// Monte-Carlo cross-check of the analytic link budget: batched
-  /// EventEngine streams for every channel pair with the fiber arm
-  /// transmission folded into each arm and the configured dark rate on
-  /// each detector, all CARs measured in one merge-sweep. Validates the
-  /// accidental floor the analytic channel_performance assumes.
-  std::vector<StreamCheck> monte_carlo_stream_check(double distance_km,
-                                                    double duration_s,
-                                                    std::uint64_t seed = 1176) const;
+  /// Monte-Carlo cross-check of the analytic link budget: every channel
+  /// pair runs through the windowed streaming engine
+  /// (detect::EventStreamer) with the fiber arm transmission folded into
+  /// each arm and the endpoint's dark rate on each detector, and an online
+  /// accumulator measures all CARs in one pass. Resident memory is set by
+  /// StreamOptions::window_s — not duration — while every reported number
+  /// is bitwise identical at any window size or analysis thread count
+  /// (streaming parity contract). Validates the accidental floor the
+  /// analytic channel_performance assumes.
+  std::vector<StreamCheck> stream_check(double distance_km, double duration_s,
+                                        const StreamOptions& options = {}) const;
 
-  /// Bounded-memory form of monte_carlo_stream_check for long soak runs:
-  /// the same channel specs feed the windowed streaming engine
-  /// (detect::EventStreamer) and an online CAR accumulator, so resident
-  /// memory is set by `stream_window_s` — not `duration_s` — while every
-  /// reported number is bitwise identical to the batch check at any
-  /// window size (streaming parity contract).
-  std::vector<StreamCheck> long_run_stream_check(double distance_km,
-                                                 double duration_s,
-                                                 double stream_window_s = 1.0,
-                                                 std::uint64_t seed = 1176) const;
+  [[deprecated("use stream_check(distance_km, duration_s, StreamOptions{})")]]
+  std::vector<StreamCheck> monte_carlo_stream_check(
+      double distance_km, double duration_s, std::uint64_t seed = 1176) const {
+    StreamOptions options;
+    options.window_s = 0;  // one window spanning the run, as the batch did
+    options.seed = seed;
+    return stream_check(distance_km, duration_s, options);
+  }
+
+  [[deprecated("use stream_check(distance_km, duration_s, StreamOptions{})")]]
+  std::vector<StreamCheck> long_run_stream_check(
+      double distance_km, double duration_s, double stream_window_s = 1.0,
+      std::uint64_t seed = 1176) const {
+    StreamOptions options;
+    options.window_s = stream_window_s;
+    options.seed = seed;
+    return stream_check(distance_km, duration_s, options);
+  }
 
  private:
   const TimebinExperiment* experiment_;
-  QkdLinkParams params_;
+  UserEndpointParams endpoint_;
+  fiber::FiberParams fiber_;
 };
 
 }  // namespace qfc::core

@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file qkd_network.hpp
+/// Many-user multiplexed QKD network on one comb — the "millions of users"
+/// story the paper's introduction motivates: hundreds of comb lines paired
+/// off to hundreds of independent users, each with their own fiber span,
+/// detector/dark parameters, and sifting config, all simulated from **one
+/// shared streaming engine run**.
+///
+/// Contracts inherited from the substrate (and pinned by
+/// tests/test_qkd_network.cpp):
+///
+///  - **Bounded memory**: the network streams the whole user set through
+///    detect::EventStreamer + an online CAR accumulator, so peak resident
+///    memory is set by QkdNetworkConfig::stream_window_s — never by
+///    user count × duration (bench_qkd_network gates this in CI via its
+///    `bounded_rss` flag).
+///  - **Bitwise thread-count determinism**: generation forks one RNG per
+///    user-channel in user order; analysis shards merge in fixed chunk
+///    order; per-user report assembly writes disjoint slots sharded over
+///    qfc::parallel. Every number in QkdNetworkReport is bitwise identical
+///    at every generation / analysis thread count and stream window size.
+///  - **Cross-talk compositionality**: adjacent-bin leakage is injected at
+///    the spec level (detect::apply_adjacent_crosstalk) into the
+///    background-rate path; zero leakage is an exact no-op, so a
+///    leakage-free network reproduces the single-link stream checks
+///    bit-for-bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "qfc/core/qkd.hpp"
+#include "qfc/core/timebin_experiment.hpp"
+#include "qfc/detect/event_engine.hpp"
+
+namespace qfc::core {
+
+/// One subscriber: which comb line pair serves them, their measurement
+/// station, their span, and how much of the neighboring bins' flux leaks
+/// into their demultiplexer port.
+struct QkdUserSpec {
+  /// Comb channel pair serving this user (1-based, as everywhere in
+  /// TimebinExperiment). 0 = assign automatically: users are dealt
+  /// round-robin over the experiment's pairs in user order.
+  int channel_pair = 0;
+  UserEndpointParams endpoint;
+  LinkGeometry link;
+  /// Fraction of each adjacent bin's generated flux leaking into this
+  /// user's channel (imperfect demux isolation), in [0, 1]. Folded into
+  /// the spec-level background rates; 0 is an exact no-op.
+  double crosstalk_leakage = 0.0;
+};
+
+struct QkdNetworkConfig {
+  std::vector<QkdUserSpec> users;
+  /// Streaming generation window: the resident-memory knob. Results are
+  /// bitwise independent of it.
+  double stream_window_s = 1.0;
+  std::uint64_t seed = 1176;
+  /// Worker threads for CAR merge-sweeps and per-user report assembly;
+  /// 0 = process-wide analysis setting. Results are bitwise independent.
+  int analysis_threads = 0;
+  /// Bin width of QkdNetworkReport::distance_histogram.
+  double histogram_bin_km = 10.0;
+
+  /// `num_users` users with identical endpoints and fiber recipe,
+  /// distances spread evenly over [0, max_distance_km] in user order, and
+  /// automatic channel assignment — the canonical scaling scenario.
+  static QkdNetworkConfig uniform(std::size_t num_users, double max_distance_km,
+                                  UserEndpointParams endpoint = {},
+                                  fiber::FiberParams fiber = {});
+};
+
+/// Measured (Monte-Carlo) per-user outcome of one network run.
+struct QkdUserReport {
+  std::size_t user = 0;
+  int channel_pair = 0;    ///< resolved assignment (never 0)
+  double distance_km = 0;
+  detect::CarResult car;   ///< this user's diagonal CAR-matrix cell
+  double visibility = 0;   ///< intrinsic visibility × measured true/total
+  double qber = 0;
+  double sifted_rate_hz = 0;
+  double secret_fraction = 0;
+  double secret_key_rate_bps = 0;
+  bool key_positive = false;
+};
+
+/// One bin of the per-distance aggregate histogram: [lo_km, hi_km).
+struct DistanceBinStat {
+  double lo_km = 0;
+  double hi_km = 0;
+  std::size_t users = 0;
+  std::size_t users_with_key = 0;
+  double total_key_rate_bps = 0;
+  double mean_qber = 0;  ///< mean over the bin's users
+};
+
+struct QkdNetworkReport {
+  double duration_s = 0;
+  std::vector<QkdUserReport> users;
+  // ---- network aggregates
+  double total_key_rate_bps = 0;   ///< sum of positive per-user key rates
+  double worst_qber = 0;           ///< max per-user QBER; NaN when no users
+  std::size_t users_with_key = 0;
+  std::vector<DistanceBinStat> distance_histogram;
+  // ---- run diagnostics
+  std::size_t stream_windows = 0;  ///< windows the shared run emitted
+  long long peak_rss_kb = 0;       ///< max instantaneous RSS seen per window
+};
+
+/// The network façade: binds a user list to one TimebinExperiment and runs
+/// every user's link from a single shared streaming engine pass.
+class QkdNetwork {
+ public:
+  /// Validates the whole config up front; errors name the offending user
+  /// ("user 17: UserEndpointParams: negative dark rate"). All users must
+  /// share one coincidence window — the shared online accumulator sweeps
+  /// every channel with a single window.
+  QkdNetwork(const TimebinExperiment& experiment, QkdNetworkConfig config);
+
+  const QkdNetworkConfig& config() const noexcept { return cfg_; }
+  std::size_t num_users() const noexcept { return cfg_.users.size(); }
+
+  /// Resolved channel-pair assignment for one user (auto assignments
+  /// filled in).
+  int assigned_channel_pair(std::size_t user) const;
+
+  /// The engine spec list one shared run consumes: user u is engine
+  /// channel u (link_channel_spec of their assignment + endpoint +
+  /// geometry), with adjacent-bin cross-talk folded into the background
+  /// rates. Exposed so tests can pin the cross-talk injection and the
+  /// zero-leakage no-op.
+  std::vector<detect::ChannelPairSpec> engine_specs() const;
+
+  /// One shared streaming run over all users: windowed generation, online
+  /// CAR accumulation, then per-user reports sharded over qfc::parallel
+  /// and network aggregates. See the file comment for the determinism and
+  /// bounded-memory contracts.
+  QkdNetworkReport run(double duration_s) const;
+
+ private:
+  const TimebinExperiment* experiment_;
+  QkdNetworkConfig cfg_;
+  std::vector<int> assigned_;
+};
+
+}  // namespace qfc::core

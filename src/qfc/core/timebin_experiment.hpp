@@ -73,7 +73,7 @@ class TimebinExperiment {
   /// CW-equivalent engine spec for channel pair k: pair rate = both-bin
   /// emission rate, linewidth from the ring, per-arm detection efficiency
   /// as the detector efficiency, unit channel transmission. Shared by
-  /// run_car_check and MultiplexedQkdLink::monte_carlo_stream_check.
+  /// run_car_check and the QKD layer's link_channel_spec.
   detect::ChannelPairSpec cw_equivalent_spec(int k, double dark_rate_hz) const;
 
   /// Engine-backed Monte-Carlo cross-check of the coincidence statistics

@@ -13,6 +13,8 @@
 #include "qfc/detect/event_engine.hpp"
 #include "qfc/detect/event_stream.hpp"
 
+#include <string>
+
 namespace qfc::detect::detail {
 
 /// Per-channel generation plan, fully validated before any parallel work.
@@ -65,6 +67,22 @@ inline ChannelPlan make_plan(const ChannelPairSpec& spec, double duration_s) {
       break;
   }
   return plan;
+}
+
+/// Validation wrapper both engines use when planning a whole spec list: the
+/// spec-level checks shared by batch and streaming (background rates) plus
+/// make_plan, with the channel index prefixed onto any error so one bad
+/// entry in a hundreds-of-channels plan (e.g. a QkdNetwork user list) names
+/// the offender instead of forcing a bisection.
+inline ChannelPlan make_checked_plan(const ChannelPairSpec& spec, double duration_s,
+                                     std::size_t channel) {
+  try {
+    if (spec.background_rate_signal_hz < 0 || spec.background_rate_idler_hz < 0)
+      throw std::invalid_argument("ChannelPairSpec: negative background rate");
+    return make_plan(spec, duration_s);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("channel " + std::to_string(channel) + ": " + e.what());
+  }
 }
 
 }  // namespace qfc::detect::detail

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -75,7 +76,6 @@ EventEngine::EventEngine(EngineConfig cfg) : cfg_(cfg) {
 namespace {
 
 using detail::ChannelPlan;
-using detail::make_plan;
 
 const char* emission_name(EmissionMode mode) {
   switch (mode) {
@@ -102,9 +102,7 @@ EngineResult EventEngine::run(const std::vector<ChannelPairSpec>& channels) cons
   det_i.reserve(n);
   for (std::size_t c = 0; c < n; ++c) {
     const ChannelPairSpec& spec = channels[c];
-    if (spec.background_rate_signal_hz < 0 || spec.background_rate_idler_hz < 0)
-      throw std::invalid_argument("ChannelPairSpec: negative background rate");
-    plans.push_back(make_plan(spec, cfg_.duration_s));
+    plans.push_back(detail::make_checked_plan(spec, cfg_.duration_s, c));
     det_s.emplace_back(spec.detector_signal);
     det_i.emplace_back(spec.detector_idler);
   }
@@ -589,6 +587,59 @@ std::vector<std::uint64_t> EventEngine::coincidence_count_matrix(
     const EngineResult& events, double window_s, double offset_s) const {
   return detect::coincidence_count_matrix(events.signal, events.idler, window_s,
                                           offset_s, cfg_.analysis_threads);
+}
+
+double mean_pair_rate_hz(const ChannelPairSpec& spec) {
+  switch (spec.emission) {
+    case EmissionMode::Cw:
+      return spec.pair_rate_hz;
+    case EmissionMode::Pulsed:
+      return spec.pulsed.mean_pairs_per_pulse * spec.pulsed.repetition_rate_hz;
+    case EmissionMode::PiecewiseRates: {
+      double total = 0, rate_time = 0;
+      for (const RateSegment& seg : spec.segments) {
+        total += seg.duration_s;
+        rate_time += seg.pair_rate_hz * seg.duration_s;
+      }
+      return total > 0 ? rate_time / total : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+void apply_adjacent_crosstalk(std::vector<ChannelPairSpec>& specs,
+                              const std::vector<int>& comb_bin,
+                              const std::vector<double>& leakage_fraction) {
+  if (comb_bin.size() != specs.size() || leakage_fraction.size() != specs.size())
+    throw std::invalid_argument(
+        "apply_adjacent_crosstalk: comb_bin and leakage_fraction must have one "
+        "entry per spec");
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    if (leakage_fraction[i] < 0 || leakage_fraction[i] > 1)
+      throw std::invalid_argument("apply_adjacent_crosstalk: channel " +
+                                  std::to_string(i) +
+                                  ": leakage fraction outside [0, 1]");
+
+  // Neighbor flux is read from a pre-crosstalk snapshot of the specs, so
+  // the result is independent of channel order and leakage never cascades
+  // through a chain of bins.
+  std::vector<double> flux(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    flux[i] = mean_pair_rate_hz(specs[i]);
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (leakage_fraction[i] <= 0) continue;  // exact no-op: bitwise parity
+    double neighbor_flux = 0;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      if (j == i) continue;
+      const int d = comb_bin[j] - comb_bin[i];
+      if (d == 1 || d == -1) neighbor_flux += flux[j];
+    }
+    if (neighbor_flux <= 0) continue;
+    const double leaked = leakage_fraction[i] * neighbor_flux;
+    specs[i].background_rate_signal_hz += leaked * specs[i].transmission_signal;
+    specs[i].background_rate_idler_hz += leaked * specs[i].transmission_idler;
+  }
 }
 
 }  // namespace qfc::detect

@@ -208,4 +208,29 @@ CarMatrix car_matrix(const EventTable& signal, const EventTable& idler,
                      double window_s, double side_window_spacing_s,
                      int num_side_windows = 10, int num_threads = 0);
 
+/// Mean generated pair rate of a spec over the run, whatever the emission
+/// mode: Cw reads pair_rate_hz directly, Pulsed is mean_pairs_per_pulse x
+/// repetition rate, PiecewiseRates is the duration-weighted mean of the
+/// segment pair rates. This is the flux a neighboring frequency bin leaks
+/// (see apply_adjacent_crosstalk) and what spec-level planning tools should
+/// use to size a many-channel run.
+double mean_pair_rate_hz(const ChannelPairSpec& spec);
+
+/// Adjacent-bin cross-talk injection at the spec level, before a batch or
+/// streaming run: channel i sits on comb bin `comb_bin[i]` and receives a
+/// fraction `leakage_fraction[i]` of the photon flux of every spec on an
+/// adjacent bin (|Δbin| == 1) — imperfect demultiplexer isolation. The
+/// leaked flux (mean_pair_rate_hz of each neighbor, one photon per arm per
+/// pair) rides channel i's own span, so it is scaled by channel i's arm
+/// transmissions and folded into background_rate_{signal,idler}_hz, where it
+/// is thinned by detector efficiency like any other in-band background and
+/// raises the accidental floor without creating true coincidences.
+/// Channels with leakage_fraction <= 0 are left bit-for-bit untouched, so a
+/// zero-leakage network is bitwise identical to one planned without this
+/// call. Throws std::invalid_argument on size mismatches or a leakage
+/// fraction outside [0, 1].
+void apply_adjacent_crosstalk(std::vector<ChannelPairSpec>& specs,
+                              const std::vector<int>& comb_bin,
+                              const std::vector<double>& leakage_fraction);
+
 }  // namespace qfc::detect

@@ -594,9 +594,8 @@ struct EventStreamer::Impl {
     spill_pair.reserve(n);
     spill_jit.reserve(n);
     for (const ChannelPairSpec& spec : specs) {
-      if (spec.background_rate_signal_hz < 0 || spec.background_rate_idler_hz < 0)
-        throw std::invalid_argument("ChannelPairSpec: negative background rate");
-      plans.push_back(detail::make_plan(spec, cfg.duration_s));
+      const std::size_t c = plans.size();
+      plans.push_back(detail::make_checked_plan(spec, cfg.duration_s, c));
       det_s.emplace_back(spec.detector_signal);
       det_i.emplace_back(spec.detector_idler);
 

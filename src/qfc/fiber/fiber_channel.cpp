@@ -37,4 +37,11 @@ double pair_rate_scaling(const FiberChannel& a, const FiberChannel& b) {
   return a.transmission() * b.transmission();
 }
 
+FiberParams with_length_km(FiberParams base, double length_km) {
+  if (length_km < 0)
+    throw std::invalid_argument("with_length_km: negative length");
+  base.length_m = length_km * 1000.0;
+  return base;
+}
+
 }  // namespace qfc::fiber

@@ -60,4 +60,9 @@ class FiberChannel {
 /// and idler span B (both transmissions apply).
 double pair_rate_scaling(const FiberChannel& a, const FiberChannel& b);
 
+/// Copy of `base` with its length set to `length_km` kilometers — the
+/// ergonomic step for callers (QKD links/networks) that keep one fiber
+/// recipe and stamp out spans of varying length from it.
+FiberParams with_length_km(FiberParams base, double length_km);
+
 }  // namespace qfc::fiber

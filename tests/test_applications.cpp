@@ -82,6 +82,56 @@ TEST_F(QkdFixture, MaxDistanceIsFiniteAndConsistent) {
   EXPECT_FALSE(link_.channel_performance(1, dmax * 1.05).key_positive);
 }
 
+TEST_F(QkdFixture, MaxDistanceHonorsToleranceParameter) {
+  const double coarse = link_.max_distance_km(1, 500.0, /*tolerance_km=*/10.0);
+  const double fine = link_.max_distance_km(1, 500.0, /*tolerance_km=*/0.01);
+  // Both bracket the true cutoff from below, within their own tolerance.
+  EXPECT_NEAR(coarse, fine, 10.0);
+  EXPECT_TRUE(link_.channel_performance(1, fine).key_positive);
+  EXPECT_FALSE(link_.channel_performance(1, fine + 0.02).key_positive);
+  EXPECT_THROW(link_.max_distance_km(1, 500.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(link_.max_distance_km(1, -1.0), std::invalid_argument);
+}
+
+TEST_F(QkdFixture, MaxDistanceReturnsNanWhenNoPositiveKeyExists) {
+  // A dark rate this high drowns the link in accidentals even back-to-back,
+  // so no positive-key distance exists anywhere on [0, upper].
+  core::UserEndpointParams endpoint;
+  endpoint.dark_rate_hz = 1e9;
+  const core::MultiplexedQkdLink dead(exp_, endpoint);
+  EXPECT_FALSE(dead.channel_performance(1, 0.0).key_positive);
+  EXPECT_TRUE(std::isnan(dead.max_distance_km(1)));
+}
+
+TEST(QkdParams, EndpointAndGeometryValidation) {
+  core::UserEndpointParams endpoint;
+  endpoint.dark_rate_hz = -1.0;
+  EXPECT_THROW(endpoint.validate(), std::invalid_argument);
+  endpoint = {};
+  endpoint.coincidence_window_s = 0.0;
+  EXPECT_THROW(endpoint.validate(), std::invalid_argument);
+  endpoint = {};
+  endpoint.sifting_factor = 1.5;
+  EXPECT_THROW(endpoint.validate(), std::invalid_argument);
+  endpoint.sifting_factor = 0.0;
+  EXPECT_THROW(endpoint.validate(), std::invalid_argument);
+  endpoint = {};
+  endpoint.detection_efficiency_scale = 0.0;
+  EXPECT_THROW(endpoint.validate(), std::invalid_argument);
+  endpoint = {};
+  EXPECT_NO_THROW(endpoint.validate());
+
+  core::LinkGeometry geometry;
+  geometry.distance_km = -5.0;
+  EXPECT_THROW(geometry.validate(), std::invalid_argument);
+  geometry.distance_km = 40.0;
+  EXPECT_NO_THROW(geometry.validate());
+  // Symmetric spans: each arm carries half the separation.
+  EXPECT_DOUBLE_EQ(geometry.arm_channel().params().length_m, 20000.0);
+  EXPECT_GT(geometry.arm_transmission(), 0.0);
+  EXPECT_LT(geometry.arm_transmission(), 1.0);
+}
+
 TEST_F(QkdFixture, MultiplexingAggregatesChannels) {
   const double agg = link_.aggregate_key_rate_bps(10.0);
   const double single = link_.channel_performance(1, 10.0).key_rate_bps;

@@ -640,14 +640,13 @@ TEST(CoreStreamChecks, QkdStreamCheckAccidentalFloor) {
       core::PumpConfiguration::DoublePulse);
   auto exp = comb.timebin_default();
   const core::MultiplexedQkdLink link(exp);
-  const auto checks = link.monte_carlo_stream_check(/*distance_km=*/0.0,
-                                                    /*duration_s=*/0.2);
+  const auto checks = link.stream_check(/*distance_km=*/0.0, /*duration_s=*/0.2);
   ASSERT_EQ(checks.size(), 5u);
   for (const auto& c : checks) {
     EXPECT_GT(c.car.car, 2.0) << "k=" << c.k;
     EXPECT_GT(c.measured_coincidence_rate_hz, 0.0) << "k=" << c.k;
   }
-  EXPECT_THROW(link.monte_carlo_stream_check(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(link.stream_check(-1.0, 1.0), std::invalid_argument);
 }
 
 TEST(CoreStreamChecks, StabilityCountedTraceAllan) {
