@@ -7,13 +7,44 @@
 
 namespace qfc::core {
 
+void FourPhotonConfig::validate() const {
+  const auto fail = [](const char* field, const char* what) {
+    throw std::invalid_argument(std::string("FourPhotonConfig.") + field + ": " + what);
+  };
+  if (pair_a < 1) fail("pair_a", "must be >= 1");
+  if (pair_b < 1) fail("pair_b", "must be >= 1");
+  if (pair_a == pair_b) fail("pair_b", "must differ from pair_a");
+  if (fringe_points < 4) fail("fringe_points", "must be >= 4");
+  if (!(fourfold_events_per_point > 0)) fail("fourfold_events_per_point", "must be > 0");
+  if (fourfold_accidental_fraction < 0)
+    fail("fourfold_accidental_fraction", "must be >= 0");
+  if (!(tomo_shots_per_setting > 0)) fail("tomo_shots_per_setting", "must be > 0");
+  if (tomo_noise.analyzer_phase_rms_rad < 0)
+    fail("tomo_noise.analyzer_phase_rms_rad", "must be >= 0");
+  if (tomo_noise.accidentals_per_outcome < 0)
+    fail("tomo_noise.accidentals_per_outcome", "must be >= 0");
+}
+
+io::Json FourPhotonResult::to_json() const {
+  io::Json j = io::Json::make_object();
+  j.set("fringe", fringe.to_json());
+  j.set("fringe_fit", fringe_fit.to_json());
+  j.set("analytic_visibility", analytic_visibility);
+  j.set("bell_fidelity_a", bell_fidelity_a);
+  j.set("bell_fidelity_b", bell_fidelity_b);
+  j.set("four_photon_fidelity", four_photon_fidelity);
+  j.set("four_photon_state_fidelity", four_photon_state_fidelity);
+  j.set("tomo_iterations_pair", tomo_iterations_pair);
+  j.set("tomo_iterations_four", tomo_iterations_four);
+  return j;
+}
+
 FourPhotonExperiment::FourPhotonExperiment(photonics::MicroringResonator device,
                                            TimebinConfig timebin_cfg, FourPhotonConfig cfg,
                                            sfwm::SfwmEfficiency eff)
     : timebin_(device, timebin_cfg, eff), cfg_(cfg) {
-  if (cfg.pair_a == cfg.pair_b)
-    throw std::invalid_argument("FourPhotonConfig: the two channel pairs must differ");
-  if (cfg.pair_a < 1 || cfg.pair_b < 1 || cfg.pair_a > timebin_cfg.num_channel_pairs ||
+  cfg_.validate();
+  if (cfg.pair_a > timebin_cfg.num_channel_pairs ||
       cfg.pair_b > timebin_cfg.num_channel_pairs)
     throw std::invalid_argument("FourPhotonConfig: channel pair out of range");
 }

@@ -8,6 +8,8 @@
 
 #include <vector>
 
+#include "qfc/io/json.hpp"
+
 #include "qfc/core/timebin_experiment.hpp"
 #include "qfc/quantum/measures.hpp"
 #include "qfc/timebin/multiphoton.hpp"
@@ -31,6 +33,12 @@ struct FourPhotonConfig {
   double tomo_shots_per_setting = 250.0;
   tomo::NoiseKnobs tomo_noise{0.38, 1.0};
   std::uint64_t seed = 351;  ///< Science vol. 351 (ref [8])
+
+  /// Throws std::invalid_argument with a path-qualified message
+  /// ("FourPhotonConfig.pair_b: must differ from pair_a"). The in-range
+  /// check against the timebin config's channel count stays in the
+  /// constructor (it is a cross-config constraint).
+  void validate() const;
 };
 
 struct FourPhotonResult {
@@ -43,6 +51,8 @@ struct FourPhotonResult {
   double four_photon_state_fidelity = 0;  ///< of the true (noise-model) state
   int tomo_iterations_pair = 0;
   int tomo_iterations_four = 0;
+
+  io::Json to_json() const;
 };
 
 class FourPhotonExperiment {

@@ -22,15 +22,55 @@ photonics::CwPump make_pump(const photonics::MicroringResonator& device,
 
 }  // namespace
 
+void HeraldedConfig::validate() const {
+  const auto fail = [](const char* field, const char* what) {
+    throw std::invalid_argument(std::string("HeraldedConfig.") + field + ": " + what);
+  };
+  if (!(pump_power_w > 0)) fail("pump_power_w", "must be > 0");
+  if (num_channel_pairs < 1) fail("num_channel_pairs", "must be >= 1");
+  if (!(duration_s > 0)) fail("duration_s", "must be > 0");
+  if (!(coincidence_window_s > 0)) fail("coincidence_window_s", "must be > 0");
+  if (!(side_window_spacing_s > coincidence_window_s))
+    fail("side_window_spacing_s", "must exceed the coincidence window");
+  if (engine_threads < 0) fail("engine_threads", "must be >= 0");
+}
+
+io::Json MatrixCell::to_json() const {
+  io::Json j = io::Json::make_object();
+  j.set("signal_k", signal_k);
+  j.set("idler_k", idler_k);
+  j.set("car", car.to_json());
+  return j;
+}
+
+io::Json ChannelResult::to_json() const {
+  io::Json j = io::Json::make_object();
+  j.set("k", k);
+  j.set("coincidence_rate_hz", coincidence_rate_hz);
+  j.set("car", io::number_or_string(car));
+  j.set("car_err", io::number_or_string(car_err));
+  j.set("singles_signal_hz", singles_signal_hz);
+  j.set("singles_idler_hz", singles_idler_hz);
+  return j;
+}
+
+io::Json CoherenceResult::to_json() const {
+  io::Json j = io::Json::make_object();
+  j.set("histogram", histogram.to_json());
+  j.set("fitted_tau_s", fitted_tau_s);
+  j.set("measured_linewidth_hz", measured_linewidth_hz);
+  j.set("deconvolved_linewidth_hz", deconvolved_linewidth_hz);
+  j.set("ring_linewidth_hz", ring_linewidth_hz);
+  return j;
+}
+
 HeraldedPhotonExperiment::HeraldedPhotonExperiment(photonics::MicroringResonator device,
                                                    HeraldedConfig cfg,
                                                    sfwm::SfwmEfficiency eff)
     : device_(device),
       cfg_(cfg),
       source_(device_, make_pump(device_, cfg_), cfg_.num_channel_pairs, eff) {
-  if (cfg_.duration_s <= 0) throw std::invalid_argument("HeraldedConfig: duration <= 0");
-  if (cfg_.num_channel_pairs < 1)
-    throw std::invalid_argument("HeraldedConfig: need at least one channel pair");
+  cfg_.validate();
 }
 
 detect::ChannelPairSpec HeraldedPhotonExperiment::channel_spec(int k) const {

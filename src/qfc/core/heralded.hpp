@@ -8,6 +8,8 @@
 
 #include <vector>
 
+#include "qfc/io/json.hpp"
+
 #include "qfc/core/channel_model.hpp"
 #include "qfc/detect/coincidence.hpp"
 #include "qfc/detect/event_engine.hpp"
@@ -28,6 +30,12 @@ struct HeraldedConfig {
   /// Worker threads for the batched event engine (0 = hardware
   /// concurrency). Results are bitwise independent of this value.
   int engine_threads = 0;
+
+  /// Throws std::invalid_argument with a path-qualified message
+  /// ("HeraldedConfig.duration_s: must be > 0") for nonsensical values.
+  /// The constructor calls this, so an experiment object always holds a
+  /// valid config.
+  void validate() const;
 };
 
 /// One (signal channel, idler channel) cell of the frequency matrix.
@@ -35,6 +43,8 @@ struct MatrixCell {
   int signal_k = 0;  ///< signal channel pair index (photon at pump + k FSR)
   int idler_k = 0;   ///< idler channel pair index (photon at pump − k FSR)
   detect::CarResult car;
+
+  io::Json to_json() const;
 };
 
 struct ChannelResult {
@@ -44,6 +54,8 @@ struct ChannelResult {
   double car_err = 0;
   double singles_signal_hz = 0;
   double singles_idler_hz = 0;
+
+  io::Json to_json() const;
 };
 
 struct CoherenceResult {
@@ -52,6 +64,8 @@ struct CoherenceResult {
   double measured_linewidth_hz = 0;     ///< jitter-broadened (what the paper quotes)
   double deconvolved_linewidth_hz = 0;  ///< after jitter correction
   double ring_linewidth_hz = 0;         ///< ground truth of the device model
+
+  io::Json to_json() const;
 };
 
 class HeraldedPhotonExperiment {

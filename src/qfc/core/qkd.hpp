@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "qfc/io/json.hpp"
+
 #include "qfc/core/timebin_experiment.hpp"
 #include "qfc/detect/event_engine.hpp"
 #include "qfc/fiber/fiber_channel.hpp"
@@ -84,6 +86,8 @@ struct QkdChannelPerformance {
   double secret_fraction = 0;
   double key_rate_bps = 0;
   bool key_positive = false;
+
+  io::Json to_json() const;
 };
 
 /// Intrinsic (accidental-free) time-bin visibility of channel pair k over
@@ -159,6 +163,8 @@ class MultiplexedQkdLink {
     double measured_coincidence_rate_hz = 0;  ///< accidental-subtracted
     double measured_accidental_rate_hz = 0;   ///< per peak-equivalent window
     detect::CarResult car;
+
+    io::Json to_json() const;
   };
 
   /// Monte-Carlo cross-check of the analytic link budget: every channel
@@ -172,25 +178,6 @@ class MultiplexedQkdLink {
   /// analytic channel_performance assumes.
   std::vector<StreamCheck> stream_check(double distance_km, double duration_s,
                                         const StreamOptions& options = {}) const;
-
-  [[deprecated("use stream_check(distance_km, duration_s, StreamOptions{})")]]
-  std::vector<StreamCheck> monte_carlo_stream_check(
-      double distance_km, double duration_s, std::uint64_t seed = 1176) const {
-    StreamOptions options;
-    options.window_s = 0;  // one window spanning the run, as the batch did
-    options.seed = seed;
-    return stream_check(distance_km, duration_s, options);
-  }
-
-  [[deprecated("use stream_check(distance_km, duration_s, StreamOptions{})")]]
-  std::vector<StreamCheck> long_run_stream_check(
-      double distance_km, double duration_s, double stream_window_s = 1.0,
-      std::uint64_t seed = 1176) const {
-    StreamOptions options;
-    options.window_s = stream_window_s;
-    options.seed = seed;
-    return stream_check(distance_km, duration_s, options);
-  }
 
  private:
   const TimebinExperiment* experiment_;

@@ -34,35 +34,89 @@ QkdNetworkConfig QkdNetworkConfig::uniform(std::size_t num_users,
   return cfg;
 }
 
-QkdNetwork::QkdNetwork(const TimebinExperiment& experiment, QkdNetworkConfig config)
-    : experiment_(&experiment), cfg_(std::move(config)) {
-  if (cfg_.stream_window_s <= 0)
+void QkdNetworkConfig::validate(int num_channel_pairs) const {
+  if (stream_window_s <= 0)
     throw std::invalid_argument("QkdNetworkConfig: stream window <= 0");
-  if (cfg_.histogram_bin_km <= 0)
+  if (histogram_bin_km <= 0)
     throw std::invalid_argument("QkdNetworkConfig: histogram bin <= 0");
+  if (analysis_threads < 0)
+    throw std::invalid_argument("QkdNetworkConfig: analysis threads < 0");
 
-  const int num_pairs = experiment_->config().num_channel_pairs;
-  assigned_.reserve(cfg_.users.size());
-  for (std::size_t u = 0; u < cfg_.users.size(); ++u) {
-    const QkdUserSpec& user = cfg_.users[u];
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const QkdUserSpec& user = users[u];
     try {
       user.endpoint.validate();
       user.link.validate();
       if (user.crosstalk_leakage < 0 || user.crosstalk_leakage > 1)
         throw std::invalid_argument("crosstalk leakage outside [0, 1]");
-      if (user.channel_pair < 0 || user.channel_pair > num_pairs)
+      if (user.channel_pair < 0 || user.channel_pair > num_channel_pairs)
         throw std::invalid_argument(
-            "channel pair outside [0, " + std::to_string(num_pairs) +
-            "] (0 = auto; the experiment has " + std::to_string(num_pairs) +
+            "channel pair outside [0, " + std::to_string(num_channel_pairs) +
+            "] (0 = auto; the experiment has " + std::to_string(num_channel_pairs) +
             " pairs)");
       if (user.endpoint.coincidence_window_s !=
-          cfg_.users.front().endpoint.coincidence_window_s)
+          users.front().endpoint.coincidence_window_s)
         throw std::invalid_argument(
             "coincidence window differs from user 0's; the shared streaming "
             "accumulator sweeps every channel with one window");
     } catch (const std::invalid_argument& e) {
       throw std::invalid_argument("user " + std::to_string(u) + ": " + e.what());
     }
+  }
+}
+
+io::Json QkdUserReport::to_json() const {
+  io::Json j = io::Json::make_object();
+  j.set("user", user);
+  j.set("channel_pair", channel_pair);
+  j.set("distance_km", distance_km);
+  j.set("car", car.to_json());
+  j.set("visibility", visibility);
+  j.set("qber", io::number_or_string(qber));
+  j.set("sifted_rate_hz", sifted_rate_hz);
+  j.set("secret_fraction", secret_fraction);
+  j.set("secret_key_rate_bps", secret_key_rate_bps);
+  j.set("key_positive", key_positive);
+  return j;
+}
+
+io::Json DistanceBinStat::to_json() const {
+  io::Json j = io::Json::make_object();
+  j.set("lo_km", lo_km);
+  j.set("hi_km", hi_km);
+  j.set("users", users);
+  j.set("users_with_key", users_with_key);
+  j.set("total_key_rate_bps", total_key_rate_bps);
+  j.set("mean_qber", io::number_or_string(mean_qber));
+  return j;
+}
+
+io::Json QkdNetworkReport::to_json(bool include_diagnostics) const {
+  io::Json j = io::Json::make_object();
+  j.set("duration_s", duration_s);
+  io::Json user_array = io::Json::make_array();
+  for (const auto& u : users) user_array.push_back(u.to_json());
+  j.set("users", std::move(user_array));
+  j.set("total_key_rate_bps", total_key_rate_bps);
+  j.set("worst_qber", io::number_or_string(worst_qber));
+  j.set("users_with_key", users_with_key);
+  io::Json bins = io::Json::make_array();
+  for (const auto& b : distance_histogram) bins.push_back(b.to_json());
+  j.set("distance_histogram", std::move(bins));
+  if (include_diagnostics) {
+    j.set("stream_windows", stream_windows);
+    j.set("peak_rss_kb", peak_rss_kb);
+  }
+  return j;
+}
+
+QkdNetwork::QkdNetwork(const TimebinExperiment& experiment, QkdNetworkConfig config)
+    : experiment_(&experiment), cfg_(std::move(config)) {
+  const int num_pairs = experiment_->config().num_channel_pairs;
+  cfg_.validate(num_pairs);
+  assigned_.reserve(cfg_.users.size());
+  for (std::size_t u = 0; u < cfg_.users.size(); ++u) {
+    const QkdUserSpec& user = cfg_.users[u];
     assigned_.push_back(user.channel_pair != 0
                             ? user.channel_pair
                             : static_cast<int>(u % static_cast<std::size_t>(

@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "qfc/io/json.hpp"
+
 #include "qfc/core/qkd.hpp"
 #include "qfc/core/timebin_experiment.hpp"
 #include "qfc/detect/event_engine.hpp"
@@ -69,6 +71,12 @@ struct QkdNetworkConfig {
   static QkdNetworkConfig uniform(std::size_t num_users, double max_distance_km,
                                   UserEndpointParams endpoint = {},
                                   fiber::FiberParams fiber = {});
+
+  /// Validates the run knobs and every user spec; per-user errors are
+  /// prefixed "user N: ". `num_channel_pairs` is the owning experiment's
+  /// pair count (bounds the per-user channel_pair; 0 = auto assignment is
+  /// always allowed). The QkdNetwork constructor calls this.
+  void validate(int num_channel_pairs) const;
 };
 
 /// Measured (Monte-Carlo) per-user outcome of one network run.
@@ -83,6 +91,8 @@ struct QkdUserReport {
   double secret_fraction = 0;
   double secret_key_rate_bps = 0;
   bool key_positive = false;
+
+  io::Json to_json() const;
 };
 
 /// One bin of the per-distance aggregate histogram: [lo_km, hi_km).
@@ -93,6 +103,8 @@ struct DistanceBinStat {
   std::size_t users_with_key = 0;
   double total_key_rate_bps = 0;
   double mean_qber = 0;  ///< mean over the bin's users
+
+  io::Json to_json() const;
 };
 
 struct QkdNetworkReport {
@@ -106,6 +118,12 @@ struct QkdNetworkReport {
   // ---- run diagnostics
   std::size_t stream_windows = 0;  ///< windows the shared run emitted
   long long peak_rss_kb = 0;       ///< max instantaneous RSS seen per window
+
+  /// Full report: per-user array, aggregates, distance histogram. The
+  /// run diagnostics (stream_windows, peak_rss_kb) are host/run-specific
+  /// and excluded by default so serialized reports stay bitwise
+  /// reproducible; pass include_diagnostics=true to embed them.
+  io::Json to_json(bool include_diagnostics = false) const;
 };
 
 /// The network façade: binds a user list to one TimebinExperiment and runs

@@ -13,12 +13,62 @@
 
 namespace qfc::core {
 
+void StabilityConfig::validate() const {
+  const auto fail = [](const char* field, const char* what) {
+    throw std::invalid_argument(std::string("StabilityConfig.") + field + ": " + what);
+  };
+  if (!(observation_days > 0)) fail("observation_days", "must be > 0");
+  if (!(sample_interval_s > 0)) fail("sample_interval_s", "must be > 0");
+  if (temperature_rms_K < 0) fail("temperature_rms_K", "must be >= 0");
+  if (!(temperature_tau_s > 0)) fail("temperature_tau_s", "must be > 0");
+  if (self_locked_residual_fraction < 0)
+    fail("self_locked_residual_fraction", "must be >= 0");
+}
+
+io::Json StabilityTrace::to_json(bool include_series) const {
+  io::Json j = io::Json::make_object();
+  j.set("samples", relative_rate.size());
+  j.set("mean", mean);
+  j.set("rms_fluctuation_percent", rms_fluctuation_percent);
+  j.set("peak_to_peak_percent", peak_to_peak_percent);
+  if (include_series) {
+    const auto as_array = [](const std::vector<double>& v) {
+      io::Json a = io::Json::make_array();
+      for (const double x : v) a.push_back(io::Json(x));
+      return a;
+    };
+    j.set("time_s", as_array(time_s));
+    j.set("relative_rate", as_array(relative_rate));
+  }
+  return j;
+}
+
+io::Json StabilityComparison::to_json(bool include_series) const {
+  io::Json j = io::Json::make_object();
+  j.set("self_locked", self_locked.to_json(include_series));
+  j.set("external", external.to_json(include_series));
+  return j;
+}
+
+io::Json CountedStabilityTrace::to_json(bool include_series) const {
+  io::Json j = io::Json::make_object();
+  j.set("trace", trace.to_json(include_series));
+  j.set("mean_counts", mean_counts);
+  io::Json a = io::Json::make_array();
+  for (const auto& p : allan) a.push_back(p.to_json());
+  j.set("allan", std::move(a));
+  if (include_series) {
+    io::Json c = io::Json::make_array();
+    for (const double x : counts) c.push_back(io::Json(x));
+    j.set("counts", std::move(c));
+  }
+  return j;
+}
+
 StabilityExperiment::StabilityExperiment(photonics::MicroringResonator device,
                                          StabilityConfig cfg)
     : device_(device), cfg_(cfg) {
-  if (cfg.observation_days <= 0) throw std::invalid_argument("StabilityConfig: days <= 0");
-  if (cfg.sample_interval_s <= 0)
-    throw std::invalid_argument("StabilityConfig: sample interval <= 0");
+  cfg_.validate();
 }
 
 double StabilityExperiment::relative_rate_at_detuning(double detuning_hz) const {

@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "qfc/io/json.hpp"
+
 #include "qfc/detect/allan.hpp"
 #include "qfc/photonics/microring.hpp"
 #include "qfc/photonics/pump.hpp"
@@ -30,6 +32,11 @@ struct StabilityConfig {
   /// (amplifier phase noise, mode-partition noise).
   double self_locked_residual_fraction = 0.02;
   std::uint64_t seed = 1023;  ///< Opt. Express 22, 1023 (ref [6])
+
+  /// Throws std::invalid_argument with a path-qualified message
+  /// ("StabilityConfig.observation_days: must be > 0"). Called by the
+  /// constructor.
+  void validate() const;
 };
 
 struct StabilityTrace {
@@ -38,11 +45,17 @@ struct StabilityTrace {
   double mean = 0;
   double rms_fluctuation_percent = 0;   ///< 100 * std/mean
   double peak_to_peak_percent = 0;
+
+  /// Summary statistics plus the series length; pass include_series=true
+  /// to embed the full time/rate arrays (large for multi-week runs).
+  io::Json to_json(bool include_series = false) const;
 };
 
 struct StabilityComparison {
   StabilityTrace self_locked;
   StabilityTrace external;
+
+  io::Json to_json(bool include_series = false) const;
 };
 
 /// Counting-statistics form of a stability run, derived from raw engine
@@ -57,6 +70,8 @@ struct CountedStabilityTrace {
   std::vector<double> counts;             ///< coincidences per interval, from clicks
   std::vector<detect::AllanPoint> allan;  ///< of counts / mean(counts)
   double mean_counts = 0;
+
+  io::Json to_json(bool include_series = false) const;
 };
 
 class StabilityExperiment {

@@ -24,13 +24,37 @@ photonics::DoublePulsePump TimebinConfig::make_default_pump(
   return pump;
 }
 
+void TimebinConfig::validate() const {
+  const auto fail = [](const char* field, const char* what) {
+    throw std::invalid_argument(std::string("TimebinConfig.") + field + ": " + what);
+  };
+  pump.validate();
+  if (num_channel_pairs < 1) fail("num_channel_pairs", "must be >= 1");
+  if (!(integration_s_per_point > 0)) fail("integration_s_per_point", "must be > 0");
+  if (fringe_points < 4) fail("fringe_points", "must be >= 4");
+  if (interferometer_phase_noise_rms_rad < 0)
+    fail("interferometer_phase_noise_rms_rad", "must be >= 0");
+  if (accidental_fraction < 0 || accidental_fraction >= 1)
+    fail("accidental_fraction", "must be in [0, 1)");
+  if (!(detection_efficiency_per_arm > 0) || detection_efficiency_per_arm > 1)
+    fail("detection_efficiency_per_arm", "must be in (0, 1]");
+}
+
+io::Json TimebinChannelResult::to_json() const {
+  io::Json j = io::Json::make_object();
+  j.set("k", k);
+  j.set("mu_per_double_pulse", mu_per_double_pulse);
+  j.set("fringe_fit", fringe_fit.to_json());
+  j.set("predicted_visibility", predicted_visibility);
+  j.set("chsh", chsh.to_json());
+  j.set("scan", scan.to_json());
+  return j;
+}
+
 TimebinExperiment::TimebinExperiment(photonics::MicroringResonator device,
                                      TimebinConfig cfg, sfwm::SfwmEfficiency eff)
     : device_(device), cfg_(cfg), source_(device_, cfg_.pump, cfg_.num_channel_pairs, eff) {
-  if (cfg_.num_channel_pairs < 1)
-    throw std::invalid_argument("TimebinConfig: need at least one channel pair");
-  if (cfg_.detection_efficiency_per_arm <= 0 || cfg_.detection_efficiency_per_arm > 1)
-    throw std::invalid_argument("TimebinConfig: detection efficiency outside (0,1]");
+  cfg_.validate();
 }
 
 timebin::TimebinNoiseModel TimebinExperiment::noise_model(int k) const {

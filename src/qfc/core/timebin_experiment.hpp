@@ -7,6 +7,8 @@
 
 #include <vector>
 
+#include "qfc/io/json.hpp"
+
 #include "qfc/detect/event_engine.hpp"
 #include "qfc/detect/fit.hpp"
 #include "qfc/photonics/microring.hpp"
@@ -39,6 +41,12 @@ struct TimebinConfig {
   /// 83% (multi-photon rates need this much pump).
   static photonics::DoublePulsePump make_default_pump(
       const photonics::MicroringResonator& device, double average_power_w = 250e-3);
+
+  /// Throws std::invalid_argument with a path-qualified message
+  /// ("TimebinConfig.accidental_fraction: must be in [0, 1)"); the pump
+  /// validates itself (DoublePulsePump::validate). Called by the
+  /// constructor.
+  void validate() const;
 };
 
 struct TimebinChannelResult {
@@ -48,6 +56,8 @@ struct TimebinChannelResult {
   double predicted_visibility = 0;      ///< analytic model prediction
   timebin::ChshMeasurement chsh;        ///< CHSH at optimal settings
   timebin::FringeScan scan;             ///< raw fringe data
+
+  io::Json to_json() const;
 };
 
 class TimebinExperiment {

@@ -21,16 +21,43 @@ sfwm::Type2PairSource Type2Experiment::make_source(
   return sfwm::Type2PairSource(device, pump, num_pairs, eff);
 }
 
+void Type2Config::validate() const {
+  const auto fail = [](const char* field, const char* what) {
+    throw std::invalid_argument(std::string("Type2Config.") + field + ": " + what);
+  };
+  if (!(pump_power_total_w > 0)) fail("pump_power_total_w", "must be > 0");
+  if (num_channel_pairs < 1) fail("num_channel_pairs", "must be >= 1");
+  if (!(duration_s > 0)) fail("duration_s", "must be > 0");
+  if (!(coincidence_window_s > 0)) fail("coincidence_window_s", "must be > 0");
+  if (!(side_window_spacing_s > coincidence_window_s))
+    fail("side_window_spacing_s", "must exceed the coincidence window");
+  if (!(pbs_extinction_db > 0)) fail("pbs_extinction_db", "must be > 0");
+}
+
+io::Json Type2CarResult::to_json() const {
+  io::Json j = io::Json::make_object();
+  j.set("pump_power_w", pump_power_w);
+  j.set("car", car.to_json());
+  j.set("pair_rate_on_chip_hz", pair_rate_on_chip_hz);
+  j.set("coincidence_rate_hz", coincidence_rate_hz);
+  return j;
+}
+
+io::Json Type2Experiment::OpoPoint::to_json() const {
+  io::Json j = io::Json::make_object();
+  j.set("pump_w", pump_w);
+  j.set("output_w", output_w);
+  j.set("oscillating", oscillating);
+  return j;
+}
+
 Type2Experiment::Type2Experiment(photonics::MicroringResonator device, Type2Config cfg,
                                  sfwm::SfwmEfficiency eff)
     : device_(device),
       cfg_(cfg),
       eff_(eff),
       source_(make_source(device_, cfg_.pump_power_total_w, cfg_.num_channel_pairs, eff)) {
-  if (cfg_.pump_power_total_w <= 0)
-    throw std::invalid_argument("Type2Config: pump power <= 0");
-  if (cfg_.pbs_extinction_db <= 0)
-    throw std::invalid_argument("Type2Config: PBS extinction <= 0");
+  cfg_.validate();
 }
 
 Type2CarResult Type2Experiment::measure_at(double total_power_w,

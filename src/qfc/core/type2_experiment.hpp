@@ -7,6 +7,8 @@
 
 #include <vector>
 
+#include "qfc/io/json.hpp"
+
 #include "qfc/core/channel_model.hpp"
 #include "qfc/detect/coincidence.hpp"
 #include "qfc/photonics/microring.hpp"
@@ -34,6 +36,11 @@ struct Type2Config {
       /*detector_efficiency=*/0.225, /*jitter_sigma_s=*/120e-12,
       /*dead_time_s=*/10e-6};
   std::uint64_t seed = 8236;  ///< Nat. Commun. article number of ref [7]
+
+  /// Throws std::invalid_argument with a path-qualified message
+  /// ("Type2Config.pump_power_total_w: must be > 0"). Called by the
+  /// constructor.
+  void validate() const;
 };
 
 struct Type2CarResult {
@@ -41,6 +48,8 @@ struct Type2CarResult {
   detect::CarResult car;
   double pair_rate_on_chip_hz = 0;
   double coincidence_rate_hz = 0;
+
+  io::Json to_json() const;
 };
 
 class Type2Experiment {
@@ -61,6 +70,8 @@ class Type2Experiment {
     double pump_w;
     double output_w;
     bool oscillating;
+
+    io::Json to_json() const;
   };
   std::vector<OpoPoint> run_opo_curve(double max_pump_w, int num_points) const;
 

@@ -8,12 +8,19 @@
 #include <cstddef>
 #include <vector>
 
+namespace qfc::io {
+class Json;
+}
+
 namespace qfc::detect {
 
 struct AllanPoint {
   double tau_s = 0;    ///< averaging time
   double sigma = 0;    ///< overlapping Allan deviation of the (fractional) series
   std::size_t pairs = 0;  ///< number of difference pairs averaged
+
+  /// {tau_s, sigma, pairs}.
+  io::Json to_json() const;
 };
 
 /// Overlapping Allan deviation at averaging factor m (tau = m * dt):

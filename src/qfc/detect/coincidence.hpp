@@ -8,6 +8,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace qfc::io {
+class Json;
+}
+
 namespace qfc::detect {
 
 /// Histogram of signal-minus-idler arrival-time differences.
@@ -21,6 +25,9 @@ struct CoincidenceHistogram {
     return (static_cast<double>(i) - static_cast<double>(center_bin())) * bin_width_s;
   }
   std::uint64_t total() const;
+
+  /// {bin_width_s, range_s, counts} — the sweep-report serialization.
+  io::Json to_json() const;
 };
 
 /// Build the Δt histogram from two sorted click streams (seconds).
@@ -40,6 +47,9 @@ struct CarResult {
   double accidentals = 0;   ///< mean counts in equally wide offset windows
   double car = 0;           ///< coincidences / accidentals
   double car_err = 0;       ///< Poisson 1σ propagation
+
+  /// {coincidences, accidentals, car, car_err}.
+  io::Json to_json() const;
 };
 
 /// CAR from two click streams: peak window around Δt = 0, accidentals

@@ -7,6 +7,10 @@
 
 #include <vector>
 
+namespace qfc::io {
+class Json;
+}
+
 namespace qfc::detect {
 
 struct ExponentialFit {
@@ -38,6 +42,9 @@ struct SinusoidFit {
   double phase_rad = 0;    ///< atan2(−b, a): y = c0 + A cos(x + φ)
   double visibility = 0;   ///< A / c0, clipped to [0, 1]
   double visibility_err = 0;  ///< 1σ from Poisson residual propagation
+
+  /// {offset, amplitude, phase_rad, visibility, visibility_err}.
+  io::Json to_json() const;
 };
 
 /// Least-squares fit of a fringe y(x) = c0 + a cos x + b sin x; x in rad.

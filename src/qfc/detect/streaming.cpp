@@ -617,7 +617,7 @@ struct EventStreamer::Impl {
     chans.reserve(n);
     for (std::size_t c = 0; c < n; ++c) {
       rng::Xoshiro256 ch = master.fork(static_cast<std::uint64_t>(c + 1));
-      chans.push_back(ChannelState{detail::fork_channel_rngs(ch)});
+      chans.push_back(ChannelState{detail::fork_channel_rngs(ch), {}, {}, {}, {}, {}});
     }
 
     num_windows = std::max<std::size_t>(

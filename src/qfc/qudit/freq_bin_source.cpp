@@ -6,17 +6,22 @@
 
 namespace qfc::qudit {
 
+void FreqBinConfig::validate() const {
+  if (dimension < 2)
+    throw std::invalid_argument("FreqBinConfig.dimension: must be >= 2");
+  if (!bin_phase_rad.empty() && bin_phase_rad.size() != dimension)
+    throw std::invalid_argument(
+        "FreqBinConfig.bin_phase_rad: size must equal dimension (or be empty)");
+}
+
 FreqBinSource::FreqBinSource(photonics::CombGrid grid, std::vector<double> brightness,
                              FreqBinConfig cfg)
     : grid_(std::move(grid)), brightness_(std::move(brightness)), cfg_(std::move(cfg)) {
-  if (cfg_.dimension < 2)
-    throw std::invalid_argument("FreqBinSource: dimension < 2");
+  cfg_.validate();
   if (brightness_.size() < cfg_.dimension)
     throw std::invalid_argument("FreqBinSource: fewer brightness entries than bins");
   if (static_cast<std::size_t>(grid_.num_pairs()) < cfg_.dimension)
     throw std::invalid_argument("FreqBinSource: grid tracks fewer pairs than bins");
-  if (!cfg_.bin_phase_rad.empty() && cfg_.bin_phase_rad.size() != cfg_.dimension)
-    throw std::invalid_argument("FreqBinSource: phase profile size != dimension");
   double total = 0;
   for (std::size_t k = 0; k < cfg_.dimension; ++k) {
     if (brightness_[k] < 0)

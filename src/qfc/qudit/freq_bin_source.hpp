@@ -22,6 +22,12 @@ struct FreqBinConfig {
   std::size_t dimension = 2;  ///< d: uses comb channel pairs k = 1..d as bins
   /// Per-bin phase (pump phase + dispersion walk-off), radians; empty = 0.
   std::vector<double> bin_phase_rad;
+
+  /// Config-only checks (dimension, phase-profile shape); throws
+  /// std::invalid_argument with "FreqBinConfig.field: ..." messages. The
+  /// FreqBinSource constructor calls this and then checks the
+  /// brightness/grid cross-constraints.
+  void validate() const;
 };
 
 class FreqBinSource {

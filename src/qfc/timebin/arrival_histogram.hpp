@@ -17,6 +17,10 @@
 #include "qfc/rng/xoshiro.hpp"
 #include "qfc/timebin/interferometer.hpp"
 
+namespace qfc::io {
+class Json;
+}
+
 namespace qfc::timebin {
 
 struct ArrivalHistogram {
@@ -55,6 +59,9 @@ struct TimebinPeaks {
   /// Central peak over the mean of the two side peaks (0 if no side
   /// counts), same convention as ArrivalHistogram::central_to_side_ratio.
   double central_to_side_ratio() const;
+
+  /// {early_late, same_bin, late_early, central_to_side_ratio}.
+  io::Json to_json() const;
 };
 
 /// Sum the histogram bins within ±half_window_s of Δt = −ΔT, 0, +ΔT.

@@ -11,6 +11,10 @@
 #include "qfc/quantum/state.hpp"
 #include "qfc/rng/xoshiro.hpp"
 
+namespace qfc::io {
+class Json;
+}
+
 namespace qfc::timebin {
 
 /// Correlation E(α, β) = Tr[ρ A(α) ⊗ A(β)] with A(φ) = cos φ X + sin φ Y.
@@ -37,6 +41,9 @@ struct ChshMeasurement {
   std::array<double, 4> correlations{};  ///< E(a0,b0), E(a0,b1), E(a1,b0), E(a1,b1)
   bool violates_classical() const { return s > 2.0; }
   double sigmas_above_2() const { return s_err > 0 ? (s - 2.0) / s_err : 0.0; }
+
+  /// {s, s_err, correlations, violates_classical, sigmas_above_2}.
+  io::Json to_json() const;
 };
 
 /// Simulate a CHSH measurement with `pairs_per_setting` detected pairs per

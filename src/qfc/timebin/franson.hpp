@@ -13,6 +13,10 @@
 #include "qfc/rng/xoshiro.hpp"
 #include "qfc/timebin/interferometer.hpp"
 
+namespace qfc::io {
+class Json;
+}
+
 namespace qfc::timebin {
 
 /// Relative weights of the three arrival-time-difference peaks of the
@@ -37,6 +41,9 @@ struct FringeScan {
   std::vector<double> phase_rad;    ///< scanned analyzer-phase values
   std::vector<double> counts;       ///< MC coincidence counts per point
   std::vector<double> expected;     ///< analytic expectation per point
+
+  /// {phase_rad, counts, expected} as parallel arrays.
+  io::Json to_json() const;
 };
 
 /// Simulate a fringe: analyzer B fixed, analyzer A scanned over

@@ -11,6 +11,10 @@
 #include "qfc/quantum/state.hpp"
 #include "qfc/rng/xoshiro.hpp"
 
+namespace qfc::io {
+class Json;
+}
+
 namespace qfc::timebin {
 
 /// Probability (per generated four-photon event, post-selection factors
@@ -23,6 +27,9 @@ struct FourfoldFringe {
   std::vector<double> counts;    ///< MC counts
   std::vector<double> expected;  ///< analytic mean
   double visibility = 0;         ///< extrema-based (max−min)/(max+min) of expected
+
+  /// {phase_rad, counts, expected, visibility} as parallel arrays + scalar.
+  io::Json to_json() const;
 };
 
 /// Scan the common analyzer phase over [0, 2π). `events_per_point` is the

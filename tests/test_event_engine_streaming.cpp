@@ -412,37 +412,6 @@ TEST(StreamingFacades, QkdStreamCheckWindowSizeInvariant) {
   EXPECT_THROW(link.stream_check(-1.0, 1.0), std::invalid_argument);
 }
 
-// The deprecated shims must forward to stream_check bit-for-bit so old
-// call sites keep their exact results through the migration window.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(StreamingFacades, QkdDeprecatedShimsMatchStreamCheck) {
-  const auto comb = core::QuantumFrequencyComb::for_configuration(
-      core::PumpConfiguration::DoublePulse);
-  auto exp = comb.timebin_default();
-  const core::MultiplexedQkdLink link(exp);
-  const double duration = 0.1;
-  core::StreamOptions batch_opts;
-  batch_opts.window_s = 0;
-  const auto unified = link.stream_check(/*distance_km=*/0.0, duration, batch_opts);
-  const auto mc = link.monte_carlo_stream_check(/*distance_km=*/0.0, duration);
-  core::StreamOptions windowed_opts;
-  windowed_opts.window_s = duration / 4.0;
-  const auto unified_windowed =
-      link.stream_check(/*distance_km=*/0.0, duration, windowed_opts);
-  const auto lr = link.long_run_stream_check(/*distance_km=*/0.0, duration,
-                                             /*stream_window_s=*/duration / 4.0);
-  ASSERT_EQ(mc.size(), unified.size());
-  ASSERT_EQ(lr.size(), unified_windowed.size());
-  for (std::size_t i = 0; i < unified.size(); ++i) {
-    EXPECT_EQ(mc[i].car.coincidences, unified[i].car.coincidences);
-    EXPECT_EQ(mc[i].car.car, unified[i].car.car);
-    EXPECT_EQ(lr[i].car.coincidences, unified_windowed[i].car.coincidences);
-    EXPECT_EQ(lr[i].car.car, unified_windowed[i].car.car);
-  }
-}
-#pragma GCC diagnostic pop
-
 TEST(StreamingAccumulators, RejectMisuse) {
   detect::StreamingCarAccumulator car(kCarWindow, kCarSpacing, 10, 1);
   (void)car.finish();
